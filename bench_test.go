@@ -1,0 +1,321 @@
+package odrips
+
+// One benchmark per table and figure of the paper's evaluation. Each runs
+// the corresponding experiment end-to-end on the simulated platform and
+// reports the headline quantity as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the whole results section. Paper anchors, for comparison:
+// Fig. 1(b) ~60 mW DRIPS total; Fig. 2 ~99.5% DRIPS residency; Fig. 6(a)
+// reductions 6/13/8/22% with break-evens 6.6/6.3/7.4/6.5 ms; Fig. 6(b)
+// -1.4%/+1%; Fig. 6(c) -0.3%/-0.7%; Fig. 6(d) ODRIPS-PCM -37%; §6.3 context
+// save/restore 18/13 µs; §4.1.3 m=10, f=21, 1 ppb; §7 model accuracy ~95%.
+
+import "testing"
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(Table1().Rows) == 0 {
+			b.Fatal("empty Table 1")
+		}
+	}
+}
+
+func BenchmarkFig1b(b *testing.B) {
+	var total float64
+	for i := 0; i < b.N; i++ {
+		r, err := Fig1b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = r.TotalMW
+	}
+	b.ReportMetric(total, "DRIPS_mW")
+}
+
+func BenchmarkFig2(b *testing.B) {
+	var avg, resid float64
+	for i := 0; i < b.N; i++ {
+		r, err := Fig2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = r.AverageMW
+		for _, row := range r.Rows {
+			if row.State == Idle {
+				resid = row.Residency
+			}
+		}
+	}
+	b.ReportMetric(avg, "avg_mW")
+	b.ReportMetric(100*resid, "DRIPS_residency_%")
+}
+
+func BenchmarkFig3b(b *testing.B) {
+	var events int
+	for i := 0; i < b.N; i++ {
+		r, err := Fig3b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = len(r.Events)
+	}
+	b.ReportMetric(float64(events), "handover_milestones")
+}
+
+func BenchmarkCalibration(b *testing.B) {
+	var drift float64
+	for i := 0; i < b.N; i++ {
+		r, err := Calibration()
+		if err != nil {
+			b.Fatal(err)
+		}
+		drift = r.MeasuredDriftPPB
+	}
+	b.ReportMetric(drift, "drift_ppb")
+}
+
+func BenchmarkFig6a(b *testing.B) {
+	var odripsRed, odripsBE float64
+	for i := 0; i < b.N; i++ {
+		r, err := Fig6a(SweepOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row.Name == "ODRIPS" {
+				odripsRed = row.ReductionPct
+				odripsBE = row.BreakEven.Milliseconds()
+			}
+		}
+	}
+	b.ReportMetric(odripsRed, "ODRIPS_reduction_%")
+	b.ReportMetric(odripsBE, "ODRIPS_breakeven_ms")
+}
+
+func BenchmarkFig6aSweep(b *testing.B) {
+	// The empirical residency sweep (coarse grid; PaperSweepGrid() for the
+	// full 0.6 ms–1 s @0.1 ms run).
+	var be float64
+	for i := 0; i < b.N; i++ {
+		r, err := Fig6a(DefaultSweep())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row.Name == "ODRIPS" && row.SweepBE > 0 {
+				be = row.SweepBE.Milliseconds()
+			}
+		}
+	}
+	b.ReportMetric(be, "ODRIPS_sweep_breakeven_ms")
+}
+
+func BenchmarkFig6b(b *testing.B) {
+	var saving1GHz float64
+	for i := 0; i < b.N; i++ {
+		r, err := Fig6b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		saving1GHz = r.Rows[1].ReductionPct
+	}
+	b.ReportMetric(saving1GHz, "1GHz_saving_%")
+}
+
+func BenchmarkFig6c(b *testing.B) {
+	var saving800 float64
+	for i := 0; i < b.N; i++ {
+		r, err := Fig6c()
+		if err != nil {
+			b.Fatal(err)
+		}
+		saving800 = r.Rows[2].ReductionPct
+	}
+	b.ReportMetric(saving800, "DDR3L800_saving_%")
+}
+
+func BenchmarkFig6d(b *testing.B) {
+	var pcmRed float64
+	for i := 0; i < b.N; i++ {
+		r, err := Fig6d(SweepOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row.Name == "ODRIPS-PCM" {
+				pcmRed = row.ReductionPct
+			}
+		}
+	}
+	b.ReportMetric(pcmRed, "PCM_reduction_%")
+}
+
+func BenchmarkCtxLatency(b *testing.B) {
+	var saveUS, restoreUS float64
+	for i := 0; i < b.N; i++ {
+		r, err := CtxLatency()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row.Medium == "SGX DRAM (ODRIPS)" {
+				saveUS = row.Save.Microseconds()
+				restoreUS = row.Restore.Microseconds()
+			}
+		}
+	}
+	b.ReportMetric(saveUS, "ctx_save_us")
+	b.ReportMetric(restoreUS, "ctx_restore_us")
+}
+
+func BenchmarkModelValidation(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		r, err := ModelValidation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = r.WorstAccPct
+	}
+	b.ReportMetric(worst, "model_accuracy_%")
+}
+
+func BenchmarkAblationMEECache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := AblationMEECache(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationTimerAlternatives(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := AblationTimerAlternatives(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationIOGate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := AblationIOGate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationReinitSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := AblationReinitSensitivity(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWakeCoalescing(b *testing.B) {
+	var bigBufferMW float64
+	for i := 0; i < b.N; i++ {
+		r, err := WakeCoalescing()
+		if err != nil {
+			b.Fatal(err)
+		}
+		bigBufferMW = r.Rows[4].AvgMW
+	}
+	b.ReportMetric(bigBufferMW, "256KiB_buffer_mW")
+}
+
+func BenchmarkProcessScaling(b *testing.B) {
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		r, err := ProcessScaling()
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = r.AccuracyPct
+	}
+	b.ReportMetric(acc, "projection_accuracy_%")
+}
+
+func BenchmarkWakeLatency(b *testing.B) {
+	var deltaUS float64
+	for i := 0; i < b.N; i++ {
+		r, err := WakeLatency()
+		if err != nil {
+			b.Fatal(err)
+		}
+		deltaUS = r.DeltaMean.Microseconds()
+	}
+	b.ReportMetric(deltaUS, "exit_delta_us")
+}
+
+func BenchmarkTDPSensitivity(b *testing.B) {
+	var lowTDP float64
+	for i := 0; i < b.N; i++ {
+		r, err := TDPSensitivity()
+		if err != nil {
+			b.Fatal(err)
+		}
+		lowTDP = r.Rows[0].ReductionPct
+	}
+	b.ReportMetric(lowTDP, "4.5W_reduction_%")
+}
+
+func BenchmarkCalibrationAging(b *testing.B) {
+	var stale2ppm float64
+	for i := 0; i < b.N; i++ {
+		r, err := CalibrationAging()
+		if err != nil {
+			b.Fatal(err)
+		}
+		stale2ppm = r.Rows[2].StaleDriftPPB
+	}
+	b.ReportMetric(stale2ppm, "stale_2ppm_drift_ppb")
+}
+
+func BenchmarkTransitionAnatomy(b *testing.B) {
+	var deltaUJ float64
+	for i := 0; i < b.N; i++ {
+		base, err := TransitionAnatomy(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opt, err := TransitionAnatomy(ODRIPS)
+		if err != nil {
+			b.Fatal(err)
+		}
+		deltaUJ = (opt.EntryTotalUJ + opt.ExitTotalUJ) - (base.EntryTotalUJ + base.ExitTotalUJ)
+	}
+	b.ReportMetric(deltaUJ, "transition_delta_uJ")
+}
+
+func BenchmarkStandbyComparison(b *testing.B) {
+	var s3mW float64
+	for i := 0; i < b.N; i++ {
+		r, err := Standby()
+		if err != nil {
+			b.Fatal(err)
+		}
+		s3mW = r.Rows[2].FloorMW
+	}
+	b.ReportMetric(s3mW, "S3_floor_mW")
+}
+
+// BenchmarkConnectedStandbySixHours measures simulator throughput on a
+// long realistic workload: six hours of connected standby (~720 cycles,
+// every context save/restore running real MEE crypto).
+func BenchmarkConnectedStandbySixHours(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p, err := NewPlatform(ODRIPSConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := p.RunCycles(ConnectedStandby(720, int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.AvgPowerMW, "avg_mW")
+		b.ReportMetric(res.Duration.Seconds(), "simulated_s")
+	}
+}

@@ -1,0 +1,248 @@
+// Command odrips-bench regenerates every table and figure of the paper's
+// evaluation section and prints them as plain-text reports.
+//
+// Usage:
+//
+//	odrips-bench                 # everything, analytic break-evens only
+//	odrips-bench -exp fig6a      # one experiment
+//	odrips-bench -sweep fast     # add the empirical residency sweep
+//	odrips-bench -sweep paper    # full 0.6 ms–1 s @0.1 ms grid (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"odrips"
+)
+
+func main() {
+	expFlag := flag.String("exp", "all",
+		"comma-separated experiments: table1,fig1b,fig2,fig3b,calibration,fig6a,fig6b,fig6c,fig6d,ctxlatency,validation,ablations,coalescing,scaling,standby,anatomy,aging,tdp,wakelatency")
+	sweepFlag := flag.String("sweep", "none", "break-even sweep: none, fast, or paper")
+	flag.Parse()
+
+	var sweep odrips.SweepOptions
+	switch *sweepFlag {
+	case "none":
+	case "fast":
+		sweep = odrips.DefaultSweep()
+	case "paper":
+		sweep = odrips.PaperSweepGrid()
+	default:
+		fmt.Fprintf(os.Stderr, "odrips-bench: unknown sweep mode %q\n", *sweepFlag)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	selected := func(name string) bool { return all || want[name] }
+
+	type experiment struct {
+		name string
+		run  func() error
+	}
+	experiments := []experiment{
+		{"table1", func() error {
+			odrips.Table1().Render(os.Stdout)
+			return nil
+		}},
+		{"fig1b", func() error {
+			r, err := odrips.Fig1b()
+			if err != nil {
+				return err
+			}
+			r.Table().Render(os.Stdout)
+			return nil
+		}},
+		{"fig2", func() error {
+			r, err := odrips.Fig2()
+			if err != nil {
+				return err
+			}
+			r.Table().Render(os.Stdout)
+			return nil
+		}},
+		{"fig3b", func() error {
+			r, err := odrips.Fig3b()
+			if err != nil {
+				return err
+			}
+			r.Table().Render(os.Stdout)
+			return nil
+		}},
+		{"calibration", func() error {
+			r, err := odrips.Calibration()
+			if err != nil {
+				return err
+			}
+			r.Table().Render(os.Stdout)
+			return nil
+		}},
+		{"fig6a", func() error {
+			r, err := odrips.Fig6a(sweep)
+			if err != nil {
+				return err
+			}
+			r.Table().Render(os.Stdout)
+			r.Chart().Render(os.Stdout)
+			return nil
+		}},
+		{"fig6b", func() error {
+			r, err := odrips.Fig6b()
+			if err != nil {
+				return err
+			}
+			r.Table().Render(os.Stdout)
+			return nil
+		}},
+		{"fig6c", func() error {
+			r, err := odrips.Fig6c()
+			if err != nil {
+				return err
+			}
+			r.Table().Render(os.Stdout)
+			return nil
+		}},
+		{"fig6d", func() error {
+			r, err := odrips.Fig6d(sweep)
+			if err != nil {
+				return err
+			}
+			r.Table().Render(os.Stdout)
+			return nil
+		}},
+		{"ctxlatency", func() error {
+			r, err := odrips.CtxLatency()
+			if err != nil {
+				return err
+			}
+			r.Table().Render(os.Stdout)
+			return nil
+		}},
+		{"validation", func() error {
+			r, err := odrips.ModelValidation()
+			if err != nil {
+				return err
+			}
+			r.Table().Render(os.Stdout)
+			return nil
+		}},
+		{"ablations", func() error {
+			mc, err := odrips.AblationMEECache()
+			if err != nil {
+				return err
+			}
+			mc.Table().Render(os.Stdout)
+			ta, err := odrips.AblationTimerAlternatives()
+			if err != nil {
+				return err
+			}
+			ta.Table().Render(os.Stdout)
+			gg, err := odrips.AblationIOGate()
+			if err != nil {
+				return err
+			}
+			gg.Table().Render(os.Stdout)
+			rs, err := odrips.AblationReinitSensitivity()
+			if err != nil {
+				return err
+			}
+			rs.Table().Render(os.Stdout)
+			return nil
+		}},
+		{"coalescing", func() error {
+			r, err := odrips.WakeCoalescing()
+			if err != nil {
+				return err
+			}
+			r.Table().Render(os.Stdout)
+			return nil
+		}},
+		{"scaling", func() error {
+			r, err := odrips.ProcessScaling()
+			if err != nil {
+				return err
+			}
+			r.Table().Render(os.Stdout)
+			return nil
+		}},
+		{"standby", func() error {
+			r, err := odrips.Standby()
+			if err != nil {
+				return err
+			}
+			r.Table().Render(os.Stdout)
+			return nil
+		}},
+		{"wakelatency", func() error {
+			r, err := odrips.WakeLatency()
+			if err != nil {
+				return err
+			}
+			r.Table().Render(os.Stdout)
+			return nil
+		}},
+		{"tdp", func() error {
+			r, err := odrips.TDPSensitivity()
+			if err != nil {
+				return err
+			}
+			r.Table().Render(os.Stdout)
+			return nil
+		}},
+		{"aging", func() error {
+			r, err := odrips.CalibrationAging()
+			if err != nil {
+				return err
+			}
+			r.Table().Render(os.Stdout)
+			return nil
+		}},
+		{"anatomy", func() error {
+			for _, tc := range []struct {
+				name string
+				tech odrips.Technique
+			}{{"Baseline", 0}, {"ODRIPS", odrips.ODRIPS}} {
+				r, err := odrips.TransitionAnatomy(tc.tech)
+				if err != nil {
+					return err
+				}
+				r.Table(tc.name).Render(os.Stdout)
+			}
+			return nil
+		}},
+	}
+
+	known := map[string]bool{"all": true}
+	for _, e := range experiments {
+		known[e.name] = true
+	}
+	for name := range want {
+		if !known[name] {
+			fmt.Fprintf(os.Stderr, "odrips-bench: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+
+	ran := 0
+	for _, e := range experiments {
+		if !selected(e.name) {
+			continue
+		}
+		if err := e.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "odrips-bench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "odrips-bench: nothing selected")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,50 @@
+// Break-even sweep: reproduce the paper's §7 methodology. Sweep the DRIPS
+// residency and find, for each technique, the minimum idle time at which
+// the optimized state beats baseline DRIPS — the blue line of Fig. 6(a).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"odrips"
+)
+
+func main() {
+	fmt.Println("residency sweep: forcing the deepest state at each residency")
+	fmt.Println("(the paper sweeps 0.6 ms – 1 s at 0.1 ms; this example uses the")
+	fmt.Println(" fast grid over the crossover region — run odrips-bench -sweep")
+	fmt.Println(" paper for the full grid)")
+	fmt.Println()
+
+	r, err := odrips.Fig6a(odrips.DefaultSweep())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-14s %10s %12s %14s %14s\n",
+		"technique", "avg power", "reduction", "analytic BE", "sweep BE")
+	paper := map[string]string{
+		"WAKE-UP-OFF":  "6.6 ms",
+		"AON-IO-GATE":  "6.3 ms",
+		"CTX-SGX-DRAM": "7.4 ms",
+		"ODRIPS":       "6.5 ms",
+	}
+	for _, row := range r.Rows {
+		if row.ReductionPct == 0 {
+			fmt.Printf("%-14s %7.2f mW %12s %14s %14s\n", row.Name, row.AvgMW, "—", "—", "—")
+			continue
+		}
+		sweepBE := "—"
+		if row.SweepBE > 0 {
+			sweepBE = fmt.Sprintf("%.1f ms", row.SweepBE.Milliseconds())
+		}
+		fmt.Printf("%-14s %7.2f mW %11.1f%% %11.2f ms %14s   (paper: %s)\n",
+			row.Name, row.AvgMW, row.ReductionPct,
+			row.BreakEven.Milliseconds(), sweepBE, paper[row.Name])
+	}
+
+	fmt.Println()
+	fmt.Println("interpretation: connected standby idles ~30 s per cycle, three")
+	fmt.Println("orders of magnitude above every break-even point, so ODRIPS is")
+	fmt.Println("strictly superior for this workload (paper §8).")
+}

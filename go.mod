@@ -1,0 +1,3 @@
+module odrips
+
+go 1.22

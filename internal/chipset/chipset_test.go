@@ -1,0 +1,250 @@
+package chipset
+
+import (
+	"testing"
+
+	"odrips/internal/aonio"
+	"odrips/internal/clock"
+	"odrips/internal/sim"
+)
+
+type bench struct {
+	sched  *sim.Scheduler
+	xtal24 *clock.Oscillator
+	xtal32 *clock.Oscillator
+	ring   *aonio.Ring
+	hub    *Hub
+}
+
+func newBench(t *testing.T) *bench {
+	t.Helper()
+	s := sim.NewScheduler()
+	x24 := clock.NewOscillator(s, "xtal24", 24_000_000, 0, 10*sim.Microsecond)
+	x32 := clock.NewOscillator(s, "xtal32", 32_768, 0, 0)
+	x24.PowerOn()
+	x32.PowerOn()
+	s.RunFor(sim.Millisecond) // both crystals stable
+	ring := aonio.NewRing(aonio.StandardIOs())
+	hub := New(s, x24, x32, aonio.NewFET(ring))
+	if err := hub.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	return &bench{sched: s, xtal24: x24, xtal32: x32, ring: ring, hub: hub}
+}
+
+func TestCalibration(t *testing.T) {
+	b := newBench(t)
+	cal := b.hub.Calibration()
+	if cal == nil || cal.IntBits != 10 || cal.FracBits != 21 {
+		t.Fatalf("calibration = %+v", cal)
+	}
+	if b.hub.Unit() == nil {
+		t.Fatal("unit not built")
+	}
+}
+
+func TestAdoptBeforeCalibrate(t *testing.T) {
+	s := sim.NewScheduler()
+	x24 := clock.NewOscillator(s, "x24", 24_000_000, 0, 0)
+	x32 := clock.NewOscillator(s, "x32", 32_768, 0, 0)
+	x24.PowerOn()
+	x32.PowerOn()
+	hub := New(s, x24, x32, nil)
+	if err := hub.AdoptTimer(0, nil); err == nil {
+		t.Fatal("AdoptTimer before calibration succeeded")
+	}
+}
+
+func TestTimerWakeFlow(t *testing.T) {
+	b := newBench(t)
+	var woke WakeSource = -1
+	var wokeAt sim.Time
+	b.hub.OnWake = func(src WakeSource, at sim.Time) { woke, wokeAt = src, at }
+
+	adopted := false
+	if err := b.hub.AdoptTimer(1_000_000, func(sim.Time) {
+		adopted = true
+		if err := b.hub.ShutFastCrystal(); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	b.sched.RunFor(50 * sim.Microsecond)
+	if !adopted || !b.hub.Hosting() {
+		t.Fatal("timer not adopted")
+	}
+	if b.xtal24.On() {
+		t.Fatal("24 MHz crystal still on after ShutFastCrystal")
+	}
+	// Wake ~10 ms of fast-clock counts later.
+	target := uint64(1_000_000 + 240_000)
+	if err := b.hub.ArmTimerWake(target); err != nil {
+		t.Fatal(err)
+	}
+	start := b.sched.Now()
+	b.sched.RunFor(sim.Second)
+	if woke != WakeTimer {
+		t.Fatalf("wake source = %v", woke)
+	}
+	elapsed := wokeAt.Sub(start)
+	if elapsed < 9*sim.Millisecond || elapsed > 11*sim.Millisecond {
+		t.Fatalf("timer wake after %v, want ~10ms", elapsed)
+	}
+	if b.hub.WakeCounts()[WakeTimer] != 1 {
+		t.Fatal("wake count wrong")
+	}
+}
+
+func TestRestoreFastTimerRoundTrip(t *testing.T) {
+	b := newBench(t)
+	if err := b.hub.AdoptTimer(500, func(sim.Time) {
+		if err := b.hub.ShutFastCrystal(); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	b.sched.RunFor(100 * sim.Millisecond)
+	var restored uint64
+	if err := b.hub.RestoreFastTimer(func(v uint64, at sim.Time) { restored = v }); err != nil {
+		t.Fatal(err)
+	}
+	b.sched.RunFor(10 * sim.Millisecond)
+	if b.hub.Hosting() {
+		t.Fatal("still hosting after restore")
+	}
+	// ~100 ms at 24 MHz = 2.4e6 counts.
+	if restored < 2_390_000 || restored > 2_500_000 {
+		t.Fatalf("restored value = %d, want ~2.4e6", restored)
+	}
+	if !b.xtal24.On() {
+		t.Fatal("24 MHz crystal off after restore")
+	}
+}
+
+func TestRestoreWithoutHostingFails(t *testing.T) {
+	b := newBench(t)
+	if err := b.hub.RestoreFastTimer(nil); err == nil {
+		t.Fatal("RestoreFastTimer while not hosting succeeded")
+	}
+	if err := b.hub.ShutFastCrystal(); err == nil {
+		t.Fatal("ShutFastCrystal while not hosting succeeded")
+	}
+	if err := b.hub.ArmTimerWake(1); err == nil {
+		t.Fatal("ArmTimerWake while not hosting succeeded")
+	}
+}
+
+func TestThermalWakeSlowSampled(t *testing.T) {
+	b := newBench(t)
+	var woke WakeSource = -1
+	var wokeAt sim.Time
+	b.hub.OnWake = func(src WakeSource, at sim.Time) { woke, wokeAt = src, at }
+	if err := b.hub.MonitorThermal(b.xtal32); err != nil {
+		t.Fatal(err)
+	}
+	b.sched.RunFor(sim.Millisecond)
+	if err := b.hub.ThermalPin().Drive(true); err != nil {
+		t.Fatal(err)
+	}
+	driveAt := b.sched.Now()
+	b.sched.RunFor(sim.Millisecond)
+	if woke != WakeThermal {
+		t.Fatalf("wake = %v, want thermal", woke)
+	}
+	// Detection quantized to the 32 kHz sampler: <= ~30.5 us.
+	if lat := wokeAt.Sub(driveAt); lat > 31*sim.Microsecond {
+		t.Fatalf("thermal detection latency = %v", lat)
+	}
+}
+
+func TestExternalWakeQuantizedWhileHosting(t *testing.T) {
+	b := newBench(t)
+	var wokeAt sim.Time
+	b.hub.OnWake = func(src WakeSource, at sim.Time) { wokeAt = at }
+	if err := b.hub.AdoptTimer(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	b.sched.RunFor(40 * sim.Microsecond) // complete hand-over
+	at := b.sched.Now()
+	b.hub.ExternalWake()
+	b.sched.RunFor(100 * sim.Microsecond)
+	if wokeAt == 0 {
+		t.Fatal("external wake never fired")
+	}
+	// Must land exactly on a 32 kHz edge.
+	_, edge, _ := b.xtal32.NextEdge(wokeAt)
+	if edge != wokeAt {
+		t.Fatalf("hosted external wake at %v not on a slow edge", wokeAt)
+	}
+	lat := wokeAt.Sub(at)
+	if lat > 31*sim.Microsecond {
+		t.Fatalf("hosted external wake latency = %v", lat)
+	}
+}
+
+func TestExternalWakeImmediateWhenNotHosting(t *testing.T) {
+	b := newBench(t)
+	var woke bool
+	b.hub.OnWake = func(WakeSource, sim.Time) { woke = true }
+	b.hub.ExternalWake()
+	if !woke {
+		t.Fatal("baseline external wake not immediate")
+	}
+}
+
+func TestWakeLatchOneShot(t *testing.T) {
+	b := newBench(t)
+	count := 0
+	b.hub.OnWake = func(WakeSource, sim.Time) { count++ }
+	b.hub.ExternalWake()
+	b.hub.ExternalWake()
+	if count != 1 {
+		t.Fatalf("wake fired %d times before latch reset", count)
+	}
+	b.hub.ResetWakeLatch()
+	b.hub.ExternalWake()
+	if count != 2 {
+		t.Fatalf("wake after latch reset: %d", count)
+	}
+}
+
+func TestFETControl(t *testing.T) {
+	b := newBench(t)
+	if err := b.hub.GateProcessorIOs(); err != nil {
+		t.Fatal(err)
+	}
+	if !b.ring.Gated() {
+		t.Fatal("ring not gated")
+	}
+	if err := b.hub.ReleaseProcessorIOs(); err != nil {
+		t.Fatal(err)
+	}
+	if b.ring.Gated() {
+		t.Fatal("ring still gated")
+	}
+}
+
+func TestFETMissing(t *testing.T) {
+	s := sim.NewScheduler()
+	x24 := clock.NewOscillator(s, "x24", 24_000_000, 0, 0)
+	x32 := clock.NewOscillator(s, "x32", 32_768, 0, 0)
+	x24.PowerOn()
+	x32.PowerOn()
+	hub := New(s, x24, x32, nil)
+	if err := hub.GateProcessorIOs(); err == nil {
+		t.Fatal("gating without FET succeeded")
+	}
+}
+
+func TestDoubleAdoptFails(t *testing.T) {
+	b := newBench(t)
+	if err := b.hub.AdoptTimer(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	b.sched.RunFor(40 * sim.Microsecond)
+	if err := b.hub.AdoptTimer(0, nil); err == nil {
+		t.Fatal("double adopt succeeded")
+	}
+}

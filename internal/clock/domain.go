@@ -1,0 +1,60 @@
+package clock
+
+import "odrips/internal/sim"
+
+// Domain is a gateable clock domain fed by an oscillator. Gating a domain
+// stops clock delivery to its consumers without powering off the source
+// crystal — the distinction matters in the DRIPS entry flow, where the
+// 24 MHz clock to the processor is first gated and only afterwards is the
+// crystal itself turned off (paper §4.1.2).
+type Domain struct {
+	name  string
+	src   *Oscillator
+	gated bool
+
+	// OnGate, if non-nil, is invoked when the domain is gated or ungated.
+	OnGate func(gated bool)
+}
+
+// NewDomain creates an ungated domain fed by src.
+func NewDomain(name string, src *Oscillator) *Domain {
+	return &Domain{name: name, src: src}
+}
+
+// Name returns the domain's label.
+func (d *Domain) Name() string { return d.name }
+
+// Source returns the feeding oscillator.
+func (d *Domain) Source() *Oscillator { return d.src }
+
+// Gated reports whether the domain is gated.
+func (d *Domain) Gated() bool { return d.gated }
+
+// Running reports whether the domain currently delivers edges: source on,
+// stable, and domain ungated.
+func (d *Domain) Running() bool { return !d.gated && d.src.Stable() }
+
+// Gate stops clock delivery. Idempotent.
+func (d *Domain) Gate() { d.setGated(true) }
+
+// Ungate resumes clock delivery. Idempotent.
+func (d *Domain) Ungate() { d.setGated(false) }
+
+func (d *Domain) setGated(g bool) {
+	if d.gated == g {
+		return
+	}
+	d.gated = g
+	if d.OnGate != nil {
+		d.OnGate(g)
+	}
+}
+
+// NextEdge returns the next rising edge delivered by this domain at or
+// after t; ok is false when the domain is gated or the source is off.
+func (d *Domain) NextEdge(t sim.Time) (k uint64, at sim.Time, ok bool) {
+	if d.gated {
+		return 0, 0, false
+	}
+	return d.src.NextEdge(t)
+}

@@ -1,0 +1,61 @@
+package ctxstore
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDeserialize hardens the context parser: arbitrary bytes — including
+// mutations of valid images, which is exactly what a corrupted S/R SRAM or
+// DRAM region would hand the exit flow — must produce an error or a
+// faithful context, never a panic.
+func FuzzDeserialize(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add(GenerateSkylake(1).Serialize()[:64])
+	small := Generate(2, map[string]int{"a": 10, "b": 0}).Serialize()
+	f.Add(small)
+	// A few targeted mutations as corpus seeds.
+	for _, off := range []int{0, 4, 9, len(small) - 1} {
+		bad := append([]byte(nil), small...)
+		bad[off] ^= 0xFF
+		f.Add(bad)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Deserialize(data)
+		if err != nil {
+			return
+		}
+		// Anything accepted must re-serialize to the same bytes.
+		if !bytes.Equal(c.Serialize(), data) {
+			t.Fatalf("accepted image does not round-trip")
+		}
+	})
+}
+
+// FuzzUnpackBootImage hardens the Boot SRAM image parser the exit flow
+// trusts before DRAM is reachable.
+func FuzzUnpackBootImage(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{255, 255, 255, 255})
+	good, err := (BootImage{MEEState: []byte{1, 2}, MCConfig: []byte{3}, PMUVector: []byte{4}}).Pack()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		img, err := UnpackBootImage(data)
+		if err != nil {
+			return
+		}
+		repacked, err := img.Pack()
+		if err != nil {
+			t.Fatalf("accepted boot image fails to repack: %v", err)
+		}
+		// Boot images carry no padding, so accept implies round-trip of
+		// the consumed prefix.
+		if len(repacked) > len(data) {
+			t.Fatalf("repack grew: %d > %d", len(repacked), len(data))
+		}
+	})
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"sort"
+
+	"odrips/internal/platform"
+	"odrips/internal/report"
+	"odrips/internal/sim"
+	"odrips/internal/workload"
+)
+
+// WakeLatencyRow is one configuration's latency distribution for one flow
+// direction (entry or exit).
+type WakeLatencyRow struct {
+	Name string
+	Flow string
+	Min  sim.Duration
+	Mean sim.Duration
+	P95  sim.Duration
+	Max  sim.Duration
+}
+
+// WakeLatencyResult checks the paper's §3 user-experience claim: ODRIPS
+// may lengthen DRIPS exit "by a few tens of microseconds" without
+// degrading connected-standby responsiveness. Exit latency is sampled over
+// many external wakes with varying idle durations, so the 32.768 kHz
+// hand-over edges land at every phase.
+type WakeLatencyResult struct {
+	Rows []WakeLatencyRow
+	// DeltaMean is ODRIPS mean minus baseline mean.
+	DeltaMean sim.Duration
+}
+
+// wakeLatencySamples is the number of wakes measured per configuration.
+const wakeLatencySamples = 40
+
+// WakeLatency measures entry- and exit-latency distributions for baseline
+// DRIPS and ODRIPS. A notable emergent property: ODRIPS *exits* are
+// deterministic because every wake source is quantized to a 32.768 kHz
+// edge before the exit flow starts; the phase-dependent edge wait shows up
+// in the *entry* flow instead (the timer hand-over waits for the next
+// rising edge from an arbitrary phase, Fig. 3(b)).
+func WakeLatency() (*WakeLatencyResult, error) {
+	out := &WakeLatencyResult{}
+	var exitMeans [2]sim.Duration
+	for i, cfg := range []platform.Config{platform.DefaultConfig(), platform.ODRIPSConfig()} {
+		entries, exits, err := wakeLatencyDistribution(cfg)
+		if err != nil {
+			return nil, err
+		}
+		entryRow := summarize(cfg.Name(), "entry", entries)
+		exitRow := summarize(cfg.Name(), "exit", exits)
+		exitMeans[i] = exitRow.Mean
+		out.Rows = append(out.Rows, entryRow, exitRow)
+	}
+	out.DeltaMean = exitMeans[1] - exitMeans[0]
+	return out, nil
+}
+
+// wakeLatencyDistribution runs one external wake per fresh platform, with
+// a prime-stepped idle duration so the hand-over edges sample all phases
+// of the 32.768 kHz clock. A fresh platform per sample keeps each ExitAvg
+// a single-wake measurement rather than a running mean.
+func wakeLatencyDistribution(cfg platform.Config) (entries, exits []sim.Duration, err error) {
+	for i := 0; i < wakeLatencySamples; i++ {
+		p, err := platform.New(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		idle := 200*sim.Millisecond + sim.Duration(i)*7_919*sim.Microsecond
+		res, err := p.RunCycles([]workload.Cycle{
+			{Active: 2*sim.Millisecond + sim.Duration(i)*101*sim.Microsecond, Idle: idle, Wake: workload.WakeExternal},
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		entries = append(entries, res.EntryAvg)
+		exits = append(exits, res.ExitAvg)
+	}
+	return entries, exits, nil
+}
+
+func summarize(name, flow string, samples []sim.Duration) WakeLatencyRow {
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var sum sim.Duration
+	for _, s := range samples {
+		sum += s
+	}
+	p95 := samples[len(samples)*95/100]
+	return WakeLatencyRow{
+		Name: name,
+		Flow: flow,
+		Min:  samples[0],
+		Mean: sum / sim.Duration(len(samples)),
+		P95:  p95,
+		Max:  samples[len(samples)-1],
+	}
+}
+
+// Table renders the distribution.
+func (r *WakeLatencyResult) Table() *report.Table {
+	t := report.NewTable("§3 — Entry/exit latency distributions over external wakes",
+		"Configuration", "Flow", "Min", "Mean", "P95", "Max")
+	for _, row := range r.Rows {
+		t.AddRow(row.Name, row.Flow, row.Min.String(), row.Mean.String(), row.P95.String(), row.Max.String())
+	}
+	t.AddNote("ODRIPS exits run %.0f us longer on average but are deterministic: every wake", r.DeltaMean.Microseconds())
+	t.AddNote("is 32 kHz-edge-aligned; the phase-dependent edge wait appears in the entry flow")
+	return t
+}

@@ -1,0 +1,114 @@
+// Package ltr implements the idle-state decision inputs of §2.2: latency
+// tolerance reporting (LTR), through which devices declare how much memory
+// access latency they can absorb with their buffers, and time-to-next-timer
+// event (TNTE), through which the platform knows how soon a scheduled
+// wake-up will fire. The PMU combines both to pick the deepest affordable
+// C-state.
+package ltr
+
+import (
+	"fmt"
+	"sort"
+
+	"odrips/internal/sim"
+)
+
+// Report is one device's latency tolerance declaration.
+type Report struct {
+	Device    string
+	Tolerance sim.Duration // max latency the device can absorb
+}
+
+// Table aggregates LTR reports and scheduled timer events.
+type Table struct {
+	sched   *sim.Scheduler
+	reports map[string]sim.Duration
+	timers  map[string]sim.Time // next deadline per timer owner
+}
+
+// NewTable creates an empty table.
+func NewTable(sched *sim.Scheduler) *Table {
+	return &Table{
+		sched:   sched,
+		reports: make(map[string]sim.Duration),
+		timers:  make(map[string]sim.Time),
+	}
+}
+
+// Update records a device's current tolerance. Zero or negative tolerance
+// means "no latency tolerated" and pins the platform out of deep idle.
+func (t *Table) Update(device string, tolerance sim.Duration) {
+	if device == "" {
+		panic("ltr: empty device name")
+	}
+	t.reports[device] = tolerance
+}
+
+// Remove clears a device's report (device suspended or unplugged).
+func (t *Table) Remove(device string) { delete(t.reports, device) }
+
+// Reports returns the current reports sorted by device name.
+func (t *Table) Reports() []Report {
+	out := make([]Report, 0, len(t.reports))
+	for d, tol := range t.reports {
+		out = append(out, Report{Device: d, Tolerance: tol})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Device < out[j].Device })
+	return out
+}
+
+// MinTolerance returns the platform latency tolerance: the minimum over
+// devices, or ok=false when no device reports (no constraint).
+func (t *Table) MinTolerance() (sim.Duration, bool) {
+	first := true
+	var min sim.Duration
+	for _, tol := range t.reports {
+		if first || tol < min {
+			min = tol
+			first = false
+		}
+	}
+	return min, !first
+}
+
+// SetTimer records (or re-arms) a named timer's next deadline.
+func (t *Table) SetTimer(owner string, deadline sim.Time) error {
+	if deadline.Before(t.sched.Now()) {
+		return fmt.Errorf("ltr: timer %q deadline %v in the past (now %v)", owner, deadline, t.sched.Now())
+	}
+	t.timers[owner] = deadline
+	return nil
+}
+
+// ClearTimer removes a named timer.
+func (t *Table) ClearTimer(owner string) { delete(t.timers, owner) }
+
+// NextTimerEvent returns the earliest scheduled deadline, or ok=false.
+// Deadlines already in the past (missed while busy) report as "now".
+func (t *Table) NextTimerEvent() (sim.Time, bool) {
+	first := true
+	var min sim.Time
+	for _, dl := range t.timers {
+		if first || dl.Before(min) {
+			min = dl
+			first = false
+		}
+	}
+	if first {
+		return 0, false
+	}
+	if min.Before(t.sched.Now()) {
+		min = t.sched.Now()
+	}
+	return min, true
+}
+
+// TNTE returns the time to the next timer event from now; ok=false when no
+// timer is armed.
+func (t *Table) TNTE() (sim.Duration, bool) {
+	at, ok := t.NextTimerEvent()
+	if !ok {
+		return 0, false
+	}
+	return at.Sub(t.sched.Now()), true
+}

@@ -1,0 +1,102 @@
+package ltr
+
+import (
+	"testing"
+
+	"odrips/internal/sim"
+)
+
+func TestMinTolerance(t *testing.T) {
+	s := sim.NewScheduler()
+	tbl := NewTable(s)
+	if _, ok := tbl.MinTolerance(); ok {
+		t.Fatal("empty table reported a tolerance")
+	}
+	tbl.Update("nic", 5*sim.Millisecond)
+	tbl.Update("audio", 2*sim.Millisecond)
+	tbl.Update("camera", 30*sim.Millisecond)
+	min, ok := tbl.MinTolerance()
+	if !ok || min != 2*sim.Millisecond {
+		t.Fatalf("min tolerance = %v,%v", min, ok)
+	}
+	// A device tightening its report pins the platform shallower.
+	tbl.Update("audio", 100*sim.Microsecond)
+	min, _ = tbl.MinTolerance()
+	if min != 100*sim.Microsecond {
+		t.Fatalf("updated min = %v", min)
+	}
+	tbl.Remove("audio")
+	min, _ = tbl.MinTolerance()
+	if min != 5*sim.Millisecond {
+		t.Fatalf("min after removal = %v", min)
+	}
+}
+
+func TestReportsSorted(t *testing.T) {
+	s := sim.NewScheduler()
+	tbl := NewTable(s)
+	tbl.Update("zeta", sim.Second)
+	tbl.Update("alpha", sim.Second)
+	reps := tbl.Reports()
+	if len(reps) != 2 || reps[0].Device != "alpha" || reps[1].Device != "zeta" {
+		t.Fatalf("reports = %+v", reps)
+	}
+}
+
+func TestEmptyDevicePanics(t *testing.T) {
+	s := sim.NewScheduler()
+	tbl := NewTable(s)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty device name did not panic")
+		}
+	}()
+	tbl.Update("", sim.Second)
+}
+
+func TestTimersAndTNTE(t *testing.T) {
+	s := sim.NewScheduler()
+	tbl := NewTable(s)
+	if _, ok := tbl.TNTE(); ok {
+		t.Fatal("empty table reported TNTE")
+	}
+	if err := tbl.SetTimer("os-tick", s.Now().Add(30*sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.SetTimer("watchdog", s.Now().Add(5*sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	tnte, ok := tbl.TNTE()
+	if !ok || tnte != 5*sim.Second {
+		t.Fatalf("TNTE = %v,%v, want 5s", tnte, ok)
+	}
+	tbl.ClearTimer("watchdog")
+	tnte, _ = tbl.TNTE()
+	if tnte != 30*sim.Second {
+		t.Fatalf("TNTE after clear = %v", tnte)
+	}
+}
+
+func TestPastDeadlineRejected(t *testing.T) {
+	s := sim.NewScheduler()
+	s.After(sim.Second, "adv", func() {})
+	s.Run()
+	tbl := NewTable(s)
+	if err := tbl.SetTimer("x", sim.Time(0)); err == nil {
+		t.Fatal("past deadline accepted")
+	}
+}
+
+func TestMissedDeadlineClampsToNow(t *testing.T) {
+	s := sim.NewScheduler()
+	tbl := NewTable(s)
+	if err := tbl.SetTimer("x", s.Now().Add(sim.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	s.After(sim.Second, "adv", func() {})
+	s.Run()
+	tnte, ok := tbl.TNTE()
+	if !ok || tnte != 0 {
+		t.Fatalf("missed deadline TNTE = %v,%v, want 0", tnte, ok)
+	}
+}

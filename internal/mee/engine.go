@@ -1,0 +1,475 @@
+package mee
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/binary"
+	"fmt"
+
+	"odrips/internal/dram"
+)
+
+// Stats counts the engine's DRAM traffic in 64-byte blocks, split by kind.
+// The context save/restore timing model is driven by these counts.
+type Stats struct {
+	DataReads   uint64
+	DataWrites  uint64
+	MetaReads   uint64
+	MetaWrites  uint64
+	CacheHits   uint64
+	CacheMisses uint64
+}
+
+// TotalReadBlocks returns all blocks read from DRAM.
+func (s Stats) TotalReadBlocks() uint64 { return s.DataReads + s.MetaReads }
+
+// TotalWriteBlocks returns all blocks written to DRAM.
+func (s Stats) TotalWriteBlocks() uint64 { return s.DataWrites + s.MetaWrites }
+
+// TotalBlocks returns all DRAM accesses.
+func (s Stats) TotalBlocks() uint64 { return s.TotalReadBlocks() + s.TotalWriteBlocks() }
+
+// IntegrityError reports a confidentiality/integrity/freshness violation.
+type IntegrityError struct {
+	What string
+	Addr uint64
+}
+
+func (e *IntegrityError) Error() string {
+	return fmt.Sprintf("mee: integrity violation: %s at %#x", e.What, e.Addr)
+}
+
+// Engine is the memory encryption engine guarding one protected region.
+type Engine struct {
+	mem    *dram.Module
+	layout Layout
+
+	masterKey [32]byte
+	aesBlock  cipher.Block
+	macKey    [32]byte
+
+	rootCounter uint64
+	cache       *metaCache
+
+	stats Stats
+}
+
+// New creates an engine over a fresh protected region and formats the
+// metadata (all versions zero, counters zero, MACs valid). cacheLines sizes
+// the MEE metadata cache (32 lines in the Skylake-like configuration).
+func New(mem *dram.Module, base uint64, dataBlocks int, key [32]byte, cacheLines int) (*Engine, error) {
+	layout, err := PlanLayout(base, dataBlocks)
+	if err != nil {
+		return nil, err
+	}
+	e, err := build(mem, layout, key, cacheLines, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.format(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func build(mem *dram.Module, layout Layout, key [32]byte, cacheLines int, rootCounter uint64) (*Engine, error) {
+	if mem == nil {
+		return nil, fmt.Errorf("mee: nil memory module")
+	}
+	if layout.Base+layout.TotalBytes() > mem.Config().CapacityBytes {
+		return nil, fmt.Errorf("mee: region [%#x,%#x) exceeds memory capacity", layout.Base, layout.Base+layout.TotalBytes())
+	}
+	var aesKey [16]byte
+	h := sha256.Sum256(append([]byte("mee-aes-key"), key[:]...))
+	copy(aesKey[:], h[:16])
+	blk, err := aes.NewCipher(aesKey[:])
+	if err != nil {
+		return nil, err
+	}
+	var macKey [32]byte
+	macKey = sha256.Sum256(append([]byte("mee-mac-key"), key[:]...))
+	return &Engine{
+		mem:         mem,
+		layout:      layout,
+		masterKey:   key,
+		aesBlock:    blk,
+		macKey:      macKey,
+		rootCounter: rootCounter,
+		cache:       newMetaCache(cacheLines),
+	}, nil
+}
+
+// Layout returns the region layout.
+func (e *Engine) Layout() Layout { return e.layout }
+
+// Mem returns the backing memory module (for transfer pricing).
+func (e *Engine) Mem() *dram.Module { return e.mem }
+
+// Stats returns a snapshot of the traffic counters.
+func (e *Engine) Stats() Stats {
+	s := e.stats
+	s.CacheHits, s.CacheMisses, _ = e.cache.stats()
+	return s
+}
+
+// ResetStats zeroes the traffic counters (cache statistics included).
+func (e *Engine) ResetStats() {
+	e.stats = Stats{}
+	e.cache.hits, e.cache.misses, e.cache.writebacks = 0, 0, 0
+}
+
+// RootCounter returns the on-chip freshness root.
+func (e *Engine) RootCounter() uint64 { return e.rootCounter }
+
+// ---- crypto helpers ----
+
+func (e *Engine) encrypt(plaintext []byte, blockIdx int, version uint64) []byte {
+	var iv [16]byte
+	binary.LittleEndian.PutUint64(iv[0:8], uint64(blockIdx))
+	binary.LittleEndian.PutUint64(iv[8:16], version)
+	out := make([]byte, BlockSize)
+	cipher.NewCTR(e.aesBlock, iv[:]).XORKeyStream(out, plaintext)
+	return out
+}
+
+// decrypt is identical to encrypt under CTR mode.
+func (e *Engine) decrypt(ct []byte, blockIdx int, version uint64) []byte {
+	return e.encrypt(ct, blockIdx, version)
+}
+
+func (e *Engine) mac(parts ...[]byte) [macSize]byte {
+	h := hmac.New(sha256.New, e.macKey[:])
+	for _, p := range parts {
+		h.Write(p)
+	}
+	var out [macSize]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+func le64(v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+// macData authenticates a data block's ciphertext bound to its index and
+// version.
+func (e *Engine) macData(ct []byte, blockIdx int, version uint64) [macSize]byte {
+	return e.mac([]byte("data"), ct, le64(uint64(blockIdx)), le64(version))
+}
+
+// macMeta authenticates a metadata block's payload bound to its level,
+// index, and the parent counter that provides freshness.
+func (e *Engine) macMeta(payload []byte, lvl, idx int, parentCtr uint64) [macSize]byte {
+	return e.mac([]byte("meta"), payload, le64(uint64(lvl)), le64(uint64(idx)), le64(parentCtr))
+}
+
+// ---- metadata block codecs ----
+//
+// L0 block: 3 x (version u64 | dataMAC 8B) at [0:48], pad [48:56], block
+// MAC at [56:64]. Node block (lvl>=1): 7 counters u64 at [0:56], MAC at
+// [56:64]. Every byte except the MAC itself is MAC-covered.
+
+func l0Entry(data []byte, slot int) (version uint64, mac []byte) {
+	off := slot * 16
+	return binary.LittleEndian.Uint64(data[off : off+8]), data[off+8 : off+16]
+}
+
+func setL0Entry(data []byte, slot int, version uint64, mac [macSize]byte) {
+	off := slot * 16
+	binary.LittleEndian.PutUint64(data[off:off+8], version)
+	copy(data[off+8:off+16], mac[:])
+}
+
+func nodeCounter(data []byte, slot int) uint64 {
+	return binary.LittleEndian.Uint64(data[slot*8 : slot*8+8])
+}
+
+func setNodeCounter(data []byte, slot int, v uint64) {
+	binary.LittleEndian.PutUint64(data[slot*8:slot*8+8], v)
+}
+
+func (e *Engine) metaAddr(lvl, idx int) uint64 {
+	if lvl == 0 {
+		return e.layout.l0Addr(idx)
+	}
+	return e.layout.nodeAddr(lvl, idx)
+}
+
+// payloadOf returns the MAC-covered payload of a metadata block.
+func payloadOf(lvl int, data []byte) []byte {
+	_ = lvl // uniform layout at every level
+	return data[:56]
+}
+
+func macOf(lvl int, data []byte) []byte {
+	_ = lvl
+	return data[56:64]
+}
+
+func setMacOf(lvl int, data []byte, mac [macSize]byte) {
+	copy(macOf(lvl, data), mac[:])
+}
+
+// topLevel returns the index of the root tree level.
+func (e *Engine) topLevel() int { return e.layout.Levels() }
+
+// parentCounterOf returns the freshness counter covering (lvl, idx),
+// fetching (and verifying) the parent node if needed.
+func (e *Engine) parentCounterOf(lvl, idx int) (uint64, error) {
+	if lvl == e.topLevel() {
+		return e.rootCounter, nil
+	}
+	parent, err := e.fetchMeta(lvl+1, idx/nodeArity)
+	if err != nil {
+		return 0, err
+	}
+	return nodeCounter(parent.data[:], idx%nodeArity), nil
+}
+
+// fetchMeta returns a verified, cached metadata block.
+func (e *Engine) fetchMeta(lvl, idx int) (*cacheLine, error) {
+	addr := e.metaAddr(lvl, idx)
+	if ln := e.cache.lookup(addr); ln != nil {
+		return ln, nil
+	}
+	// Verify the parent chain first (recursion terminates at the root).
+	parentCtr, err := e.parentCounterOf(lvl, idx)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := e.mem.Read(addr, BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	e.stats.MetaReads++
+	want := e.macMeta(payloadOf(lvl, raw), lvl, idx, parentCtr)
+	if subtle.ConstantTimeCompare(want[:], macOf(lvl, raw)) != 1 {
+		return nil, &IntegrityError{What: fmt.Sprintf("metadata MAC (level %d node %d)", lvl, idx), Addr: addr}
+	}
+	victim := e.cache.fill(addr, raw)
+	if victim.valid {
+		if err := e.mem.Write(victim.addr, victim.data[:]); err != nil {
+			return nil, err
+		}
+		e.stats.MetaWrites++
+	}
+	// The fill may have evicted the parent we depend on; that is fine, the
+	// returned line is re-looked-up by address.
+	ln := e.cache.lookup(addr)
+	if ln == nil || ln.addr != addr {
+		return nil, fmt.Errorf("mee: cache line vanished after fill (lines too few)")
+	}
+	return ln, nil
+}
+
+// pathBlock is a local, verified copy of one metadata block on the path
+// from an L0 block to the tree root. Write operations mutate local copies
+// and install them atomically, so the cache never holds a half-updated
+// (unsealable) line that could be evicted and fail re-verification.
+type pathBlock struct {
+	lvl, idx int
+	data     [BlockSize]byte
+}
+
+// loadPath fetches and verifies the metadata path covering L0 block b,
+// bottom-up, returning local copies: [L0 b, L1 node, ..., top node].
+func (e *Engine) loadPath(b int) ([]pathBlock, error) {
+	path := make([]pathBlock, 0, e.topLevel()+1)
+	lvl, idx := 0, b
+	for {
+		ln, err := e.fetchMeta(lvl, idx)
+		if err != nil {
+			return nil, err
+		}
+		pb := pathBlock{lvl: lvl, idx: idx}
+		pb.data = ln.data // copy immediately; the line may be evicted later
+		path = append(path, pb)
+		if lvl == e.topLevel() {
+			return path, nil
+		}
+		lvl, idx = lvl+1, idx/nodeArity
+	}
+}
+
+// installPath writes mutated path copies into the cache as dirty lines,
+// writing back any victims. All copies are mutually consistent before the
+// first install, so any later refetch verifies cleanly.
+func (e *Engine) installPath(path []pathBlock) error {
+	for i := range path {
+		pb := &path[i]
+		addr := e.metaAddr(pb.lvl, pb.idx)
+		if ln := e.cache.lookup(addr); ln != nil {
+			ln.data = pb.data
+			ln.dirty = true
+			continue
+		}
+		victim := e.cache.fill(addr, pb.data[:])
+		if victim.valid {
+			if err := e.mem.Write(victim.addr, victim.data[:]); err != nil {
+				return err
+			}
+			e.stats.MetaWrites++
+		}
+		if ln := e.cache.lookup(addr); ln != nil {
+			ln.dirty = true
+		}
+	}
+	return nil
+}
+
+// WriteBlock encrypts and stores one 64-byte plaintext block at index i,
+// bumping the freshness counters along the whole path to the on-chip root.
+func (e *Engine) WriteBlock(i int, plaintext []byte) error {
+	if i < 0 || i >= e.layout.DataBlocks {
+		return fmt.Errorf("mee: block index %d out of range [0,%d)", i, e.layout.DataBlocks)
+	}
+	if len(plaintext) != BlockSize {
+		return fmt.Errorf("mee: plaintext length %d, want %d", len(plaintext), BlockSize)
+	}
+	b, slot := i/entriesPerL0, i%entriesPerL0
+	path, err := e.loadPath(b)
+	if err != nil {
+		return err
+	}
+	// Mutate the local copies: new data version and MAC in the L0 entry...
+	l0 := &path[0]
+	version, _ := l0Entry(l0.data[:], slot)
+	version++
+	ct := e.encrypt(plaintext, i, version)
+	if err := e.mem.Write(e.layout.dataAddr(i), ct); err != nil {
+		return err
+	}
+	e.stats.DataWrites++
+	setL0Entry(l0.data[:], slot, version, e.macData(ct, i, version))
+	// ...then bump one counter per level and reseal each child under its
+	// incremented parent counter.
+	for p := 1; p < len(path); p++ {
+		child, node := &path[p-1], &path[p]
+		cslot := child.idx % nodeArity
+		newCtr := nodeCounter(node.data[:], cslot) + 1
+		setNodeCounter(node.data[:], cslot, newCtr)
+		mac := e.macMeta(payloadOf(child.lvl, child.data[:]), child.lvl, child.idx, newCtr)
+		setMacOf(child.lvl, child.data[:], mac)
+	}
+	// Seal the top node under a fresh on-chip root counter.
+	e.rootCounter++
+	top := &path[len(path)-1]
+	mac := e.macMeta(payloadOf(top.lvl, top.data[:]), top.lvl, top.idx, e.rootCounter)
+	setMacOf(top.lvl, top.data[:], mac)
+	return e.installPath(path)
+}
+
+// ReadBlock fetches, verifies, and decrypts data block i. A block that was
+// never written reads as an error (version 0 means "not present").
+func (e *Engine) ReadBlock(i int) ([]byte, error) {
+	if i < 0 || i >= e.layout.DataBlocks {
+		return nil, fmt.Errorf("mee: block index %d out of range [0,%d)", i, e.layout.DataBlocks)
+	}
+	b, slot := i/entriesPerL0, i%entriesPerL0
+	l0, err := e.fetchMeta(0, b)
+	if err != nil {
+		return nil, err
+	}
+	version, wantMAC := l0Entry(l0.data[:], slot)
+	if version == 0 {
+		return nil, fmt.Errorf("mee: block %d never written", i)
+	}
+	// Copy the expected MAC out before any further cache activity.
+	var want [macSize]byte
+	copy(want[:], wantMAC)
+	ct, err := e.mem.Read(e.layout.dataAddr(i), BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	e.stats.DataReads++
+	got := e.macData(ct, i, version)
+	if subtle.ConstantTimeCompare(got[:], want[:]) != 1 {
+		return nil, &IntegrityError{What: fmt.Sprintf("data MAC (block %d)", i), Addr: e.layout.dataAddr(i)}
+	}
+	return e.decrypt(ct, i, version), nil
+}
+
+// WriteRegion writes data starting at block 0, zero-padding the tail of the
+// final block.
+func (e *Engine) WriteRegion(data []byte) error {
+	need := (len(data) + BlockSize - 1) / BlockSize
+	if need > e.layout.DataBlocks {
+		return fmt.Errorf("mee: %d bytes exceed region of %d blocks", len(data), e.layout.DataBlocks)
+	}
+	var buf [BlockSize]byte
+	for i := 0; i < need; i++ {
+		for j := range buf {
+			buf[j] = 0
+		}
+		copy(buf[:], data[i*BlockSize:])
+		if err := e.WriteBlock(i, buf[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadRegion reads n bytes starting at block 0.
+func (e *Engine) ReadRegion(n int) ([]byte, error) {
+	need := (n + BlockSize - 1) / BlockSize
+	if need > e.layout.DataBlocks {
+		return nil, fmt.Errorf("mee: %d bytes exceed region of %d blocks", n, e.layout.DataBlocks)
+	}
+	out := make([]byte, 0, need*BlockSize)
+	for i := 0; i < need; i++ {
+		blk, err := e.ReadBlock(i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, blk...)
+	}
+	return out[:n], nil
+}
+
+// Flush writes back all dirty metadata. Call before removing engine power
+// (DRIPS entry): afterwards DRAM holds a complete, self-consistent image
+// rooted in the on-chip counter.
+func (e *Engine) Flush() error {
+	for _, ln := range e.cache.flushAll() {
+		if err := e.mem.Write(ln.addr, ln.data[:]); err != nil {
+			return err
+		}
+		e.stats.MetaWrites++
+	}
+	return nil
+}
+
+// format initializes all metadata blocks with zero versions/counters and
+// valid MACs, writing directly to DRAM (boot-time flow, not counted as
+// save/restore traffic by callers that ResetStats afterwards).
+func (e *Engine) format() error {
+	// Zero root.
+	e.rootCounter = 0
+	// Top-down so each level's MACs are keyed by the (zero) parent
+	// counters.
+	var zero [BlockSize]byte
+	writeLvl := func(lvl, count int) error {
+		for idx := 0; idx < count; idx++ {
+			data := zero
+			var parentCtr uint64 // all counters start at zero
+			mac := e.macMeta(payloadOf(lvl, data[:]), lvl, idx, parentCtr)
+			setMacOf(lvl, data[:], mac)
+			if err := e.mem.Write(e.metaAddr(lvl, idx), data[:]); err != nil {
+				return err
+			}
+			e.stats.MetaWrites++
+		}
+		return nil
+	}
+	for lvl := e.topLevel(); lvl >= 1; lvl-- {
+		if err := writeLvl(lvl, e.layout.LevelNodes[lvl-1]); err != nil {
+			return err
+		}
+	}
+	return writeLvl(0, e.layout.L0Blocks)
+}

@@ -1,0 +1,65 @@
+package mee
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/binary"
+	"fmt"
+
+	"odrips/internal/dram"
+)
+
+// stateMagic identifies a serialized engine state blob.
+const stateMagic = 0x4F44524D45455631 // "ODRMEEV1"
+
+// StateSize is the size of the serialized on-chip engine state in bytes.
+// It is what ODRIPS must keep in the Boot SRAM (together with PMU and
+// memory-controller state) across the power-down: key material, the
+// freshness root, and the region geometry, sealed with an integrity tag.
+const StateSize = 8 + 32 + 8 + 8 + 8 + 32
+
+// ExportState serializes the engine's on-chip state: master key, root
+// counter, and layout. The blob is bound by an HMAC so Boot SRAM
+// corruption is detected at import.
+//
+// The cache is NOT exported: it is power-gated in DRIPS, which is why
+// restore traffic pays cold metadata misses (§6.3's 13 µs read latency).
+func (e *Engine) ExportState() []byte {
+	buf := make([]byte, 0, StateSize)
+	buf = binary.LittleEndian.AppendUint64(buf, stateMagic)
+	buf = append(buf, e.masterKey[:]...)
+	buf = binary.LittleEndian.AppendUint64(buf, e.rootCounter)
+	buf = binary.LittleEndian.AppendUint64(buf, e.layout.Base)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(e.layout.DataBlocks))
+	h := hmac.New(sha256.New, e.masterKey[:])
+	h.Write(buf)
+	return h.Sum(buf)
+}
+
+// ImportState reconstructs an engine from a state blob over the same
+// memory module, with a cold cache. The master key embedded in the blob
+// must produce a matching integrity tag.
+func ImportState(mem *dram.Module, blob []byte, cacheLines int) (*Engine, error) {
+	if len(blob) != StateSize {
+		return nil, fmt.Errorf("mee: state blob size %d, want %d", len(blob), StateSize)
+	}
+	if binary.LittleEndian.Uint64(blob[0:8]) != stateMagic {
+		return nil, fmt.Errorf("mee: bad state magic")
+	}
+	var key [32]byte
+	copy(key[:], blob[8:40])
+	h := hmac.New(sha256.New, key[:])
+	h.Write(blob[:StateSize-32])
+	if subtle.ConstantTimeCompare(h.Sum(nil), blob[StateSize-32:]) != 1 {
+		return nil, fmt.Errorf("mee: state blob integrity check failed")
+	}
+	rootCounter := binary.LittleEndian.Uint64(blob[40:48])
+	base := binary.LittleEndian.Uint64(blob[48:56])
+	dataBlocks := int(binary.LittleEndian.Uint64(blob[56:64]))
+	layout, err := PlanLayout(base, dataBlocks)
+	if err != nil {
+		return nil, err
+	}
+	return build(mem, layout, key, cacheLines, rootCounter)
+}

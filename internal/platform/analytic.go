@@ -1,0 +1,100 @@
+package platform
+
+import (
+	"odrips/internal/dram"
+	"odrips/internal/power"
+	"odrips/internal/sim"
+	"odrips/internal/sram"
+)
+
+// AnalyticIdleMW predicts the battery power in the idle state from the
+// budget table alone — the paper's "in-house power model" (§7), evaluated
+// before any simulation runs. The experiments validate it against the
+// simulated measurement; the paper reports ~95% accuracy for theirs.
+func (p *Platform) AnalyticIdleMW() float64 {
+	bud := p.bud
+	t := p.cfg.Techniques
+
+	var delivered float64
+
+	// Wake monitoring and main-timer toggling.
+	if !t.Has(WakeUpOff) {
+		delivered += bud.WakeTimerIdleMW
+	}
+	// AON IO rail, or FET residual leakage when gated.
+	scale := bud.ProcessLeakageScale
+	if t.Has(AONIOGate) {
+		delivered += p.ring.TotalDrawMW() * scale * p.fet.LeakageFraction
+	} else {
+		delivered += p.ring.TotalDrawMW() * scale
+	}
+	// Retention SRAMs or their ODRIPS replacements.
+	ctxOffChip := t.Has(CtxSGXDRAM) || p.cfg.CtxInEMRAM
+	if !ctxOffChip {
+		delivered += p.saSRAM.DrawMW(sram.Retention) * scale
+		delivered += p.computeSRAM.DrawMW(sram.Retention) * scale
+		delivered += p.bootSRAM.DrawMW(sram.Retention) * scale
+	} else if t.Has(CtxSGXDRAM) {
+		delivered += p.bootSRAM.DrawMW(sram.Retention) * scale // Boot SRAM stays
+	}
+	// PMU AON remainder.
+	switch {
+	case t == ODRIPS && p.cfg.MainMemory == dram.PCM:
+		delivered += bud.PMUAonGatedPCMMW
+	case t == ODRIPS || (t.Has(WakeUpOff|AONIOGate) && p.cfg.CtxInEMRAM):
+		delivered += bud.PMUAonGatedMW
+	default:
+		delivered += bud.PMUAonIdleMW
+	}
+	// Crystals.
+	if !t.Has(WakeUpOff) {
+		delivered += bud.Xtal24MW
+	}
+	delivered += bud.Xtal32MW
+	// Chipset.
+	delivered += bud.ChipsetAonIdleMW
+	if t.Has(WakeUpOff) {
+		delivered += bud.MonitorSlowMW
+	} else {
+		delivered += bud.MonitorFastMW
+	}
+	// Memory retention.
+	delivered += p.mem.IdleDrawMW(dram.SelfRefresh)
+	// Board.
+	delivered += bud.BoardMiscIdleMW
+
+	direct := bud.VRFixedMW
+	if !t.Has(AONIOGate) {
+		direct += bud.VRAonIOMW
+	}
+	if !ctxOffChip {
+		direct += bud.VRSramMW
+	}
+	if t.Has(WakeUpOff) {
+		direct += bud.VRPmuShedMW
+	} else {
+		direct += bud.VRPmuMW
+	}
+
+	return delivered/bud.EffIdle + direct
+}
+
+// AnalyticProfile builds the Equation-1 connected-standby profile from the
+// budget: per-state power levels and nominal per-cycle durations for the
+// given idle residency.
+func (p *Platform) AnalyticProfile(idle sim.Duration) (power.Profile, error) {
+	bud := p.bud
+	powers := map[power.State]float64{
+		power.Active: bud.C0TargetMW[p.cfg.CoreFreqMHz],
+		power.Entry:  bud.EntryTargetMW,
+		power.Idle:   p.AnalyticIdleMW(),
+		power.Exit:   bud.ExitTargetMW,
+	}
+	durations := map[power.State]sim.Duration{
+		power.Active: p.MaintenanceDuration(),
+		power.Entry:  200 * sim.Microsecond,
+		power.Idle:   idle,
+		power.Exit:   300 * sim.Microsecond,
+	}
+	return power.NewProfile(powers, durations)
+}

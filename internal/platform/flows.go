@@ -1,0 +1,629 @@
+package platform
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"odrips/internal/chipset"
+	"odrips/internal/ctxstore"
+	"odrips/internal/dram"
+	"odrips/internal/mee"
+	"odrips/internal/pml"
+	"odrips/internal/pmu"
+	"odrips/internal/power"
+	"odrips/internal/sim"
+	"odrips/internal/sram"
+)
+
+// wakePlan says what ends an idle period.
+type wakePlan struct {
+	kind  chipset.WakeSource
+	after sim.Duration // measured from Idle-state entry
+}
+
+// step is one stage of a firmware flow; run must invoke next exactly once,
+// now or later.
+type step struct {
+	name string
+	run  func(next func())
+}
+
+func (p *Platform) runSteps(flow string, steps []step, done func()) {
+	var exec func(i int)
+	exec = func(i int) {
+		if p.err != nil {
+			return // a failed flow stops dead; RunCycles reports the error
+		}
+		if i >= len(steps) {
+			done()
+			return
+		}
+		started := p.sched.Now()
+		startJ := p.meter.Snapshot().TotalBatteryJ()
+		steps[i].run(func() {
+			p.recordStep(FlowStep{
+				Flow:     flow,
+				Step:     steps[i].name,
+				At:       started,
+				Duration: p.sched.Now().Sub(started),
+				EnergyUJ: (p.meter.Snapshot().TotalBatteryJ() - startJ) * 1e6,
+			})
+			exec(i + 1)
+		})
+	}
+	exec(0)
+}
+
+// FlowStep is one recorded stage of an entry or exit flow.
+type FlowStep struct {
+	Flow     string // "entry" or "exit"
+	Step     string
+	At       sim.Time
+	Duration sim.Duration
+	// EnergyUJ is the battery energy spent while the step ran.
+	EnergyUJ float64
+}
+
+// flowTraceCap bounds the trace ring so multi-hour runs stay flat.
+const flowTraceCap = 128
+
+func (p *Platform) recordStep(fs FlowStep) {
+	p.flowTrace = append(p.flowTrace, fs)
+	if len(p.flowTrace) > flowTraceCap {
+		p.flowTrace = p.flowTrace[len(p.flowTrace)-flowTraceCap:]
+	}
+}
+
+// FlowTrace returns the most recent flow steps (entry and exit stages with
+// their timestamps and durations), newest last. Useful for inspecting what
+// a configuration actually executes: ODRIPS entries show the timer
+// migration, FET gating, and crystal shutdown that baseline DRIPS lacks.
+func (p *Platform) FlowTrace() []FlowStep {
+	return append([]FlowStep(nil), p.flowTrace...)
+}
+
+// wait returns a fixed-latency step.
+func (p *Platform) wait(name string, d sim.Duration) step {
+	return step{name: name, run: func(next func()) {
+		p.sched.After(d, "flow."+name, next)
+	}}
+}
+
+// action returns a synchronous step.
+func action(name string, fn func()) step {
+	return step{name: name, run: func(next func()) {
+		fn()
+		next()
+	}}
+}
+
+func (p *Platform) fail(format string, args ...any) {
+	if p.err == nil {
+		p.err = fmt.Errorf(format, args...)
+	}
+}
+
+// mcConfig serializes the minimal memory-controller bring-up state kept in
+// the Boot SRAM.
+func (p *Platform) mcConfig() []byte {
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[0:8], p.mem.Config().CapacityBytes)
+	binary.LittleEndian.PutUint32(b[8:12], uint32(p.mem.Config().TransferMTps))
+	binary.LittleEndian.PutUint32(b[12:16], uint32(p.mem.Config().Tech))
+	return b[:]
+}
+
+func (p *Platform) pmuVector() []byte {
+	v := sha256.Sum256([]byte(fmt.Sprintf("pmu-vector-%d", p.cfg.Seed)))
+	return v[:]
+}
+
+// ---- Entry flow (§2.2 baseline; §4–6 ODRIPS additions) ----
+
+// enterIdle runs the DRIPS/ODRIPS entry flow, idles until the planned wake
+// fires, exits, and finally calls done back in the Active state.
+func (p *Platform) enterIdle(idleFor sim.Duration, plan wakePlan, done func()) {
+	if p.state != power.Active {
+		p.fail("platform: enterIdle from state %v", p.state)
+		return
+	}
+	if p.inFlow {
+		p.fail("platform: overlapping flows")
+		return
+	}
+	p.inFlow = true
+	p.cycleDone = done
+	p.idleFor = idleFor
+	p.plan = plan
+	p.state = power.Entry
+	p.tracker.to(power.Entry)
+	p.applyPhase(phEntry)
+	p.hub.ResetWakeLatch()
+	entryStart := p.sched.Now()
+
+	bud := p.bud
+	var steps []step
+
+	// PMU firmware sequencing overhead.
+	steps = append(steps, p.wait("entry-firmware", bud.EntryFirmware))
+
+	// (1) Flush the dirty LLC lines into DRAM.
+	dirty := int(float64(bud.LLCBytes) * bud.LLCDirtyFraction)
+	steps = append(steps, p.wait("flush-llc", p.mem.TransferTime(dirty, true)))
+
+	// (2) Compute-domain voltage regulators off.
+	steps = append(steps, p.wait("vr-compute-off", bud.VRComputeOff))
+
+	// (3) Context save: to protected DRAM (CTX-SGX-DRAM), to on-chip eMRAM
+	// (ODRIPS-MRAM), or to the retention SRAMs (baseline).
+	steps = append(steps, p.ctxSaveStep())
+
+	// (4) DRAM into self-refresh (CKE held low by the PMU AON domain;
+	// PCM needs neither refresh nor CKE).
+	steps = append(steps, step{name: "dram-self-refresh", run: func(next func()) {
+		if p.mem.NonVolatile() {
+			p.mem.SetCKE(false)
+		}
+		if err := p.mem.SetState(dram.SelfRefresh); err != nil {
+			p.fail("platform: self-refresh: %v", err)
+			return
+		}
+		p.sched.After(bud.SelfRefreshEnter, "flow.self-refresh", next)
+	}})
+
+	// Hand-over windows run at trailer power: the platform is mostly down.
+	steps = append(steps, action("trailer", func() { p.applyPhase(phTrailer) }))
+
+	if p.cfg.Techniques.Has(WakeUpOff) {
+		// (5) Timer migration over the PML, then hand-over to the slow
+		// timer at a 32.768 kHz edge (§4.1.2, Fig. 3(b)).
+		steps = append(steps, step{name: "timer-migrate", run: func(next func()) {
+			v := p.mainTimer.Read()
+			p.mainTimer.Stop()
+			p.p2cContinue = next
+			err := p.linkP2C.Send(pml.Message{
+				Kind:  pml.TimerValue,
+				Value: p.linkP2C.CompensateTimer(v),
+			})
+			if err != nil {
+				p.fail("platform: timer migration: %v", err)
+			}
+		}})
+		// (6) Offload the AON IO functions and gate the rail (§5.2).
+		if p.cfg.Techniques.Has(AONIOGate) {
+			steps = append(steps, step{name: "gate-aon-ios", run: func(next func()) {
+				if err := p.hub.MonitorThermal(p.xtal32); err != nil {
+					p.fail("platform: thermal offload: %v", err)
+					return
+				}
+				if err := p.hub.GateProcessorIOs(); err != nil {
+					p.fail("platform: FET gate: %v", err)
+					return
+				}
+				p.meter.Set(p.cFET, p.fet.ResidualLeakageMW())
+				p.meter.Set(p.cVRAonIO, 0)
+				p.sched.After(bud.FETSlew, "flow.fet-slew", next)
+			}})
+		}
+		// (7) All 24 MHz consumers are gone: gate the processor clock
+		// domain and shut the crystal (§4.1.2).
+		steps = append(steps, action("shut-fast-clock", func() {
+			p.procDom.Gate()
+			if err := p.hub.ShutFastCrystal(); err != nil {
+				p.fail("platform: shut fast crystal: %v", err)
+			}
+		}))
+	}
+
+	p.runSteps("entry", steps, func() {
+		// (8) PMU gated; the platform is resident in DRIPS/ODRIPS.
+		p.state = power.Idle
+		p.tracker.to(power.Idle)
+		p.applyPhase(phIdle)
+		p.flowStats.entries++
+		d := p.sched.Now().Sub(entryStart)
+		p.flowStats.entryTotal += d
+		if d > p.flowStats.entryMax {
+			p.flowStats.entryMax = d
+		}
+		p.armWake()
+		if pending := p.pendingWake; pending != nil {
+			// A wake raced the entry flow: leave immediately.
+			p.pendingWake = nil
+			p.onWake(*pending, p.sched.Now())
+		}
+	})
+}
+
+// ctxSaveStep builds the context-save stage for the configured variant.
+func (p *Platform) ctxSaveStep() step {
+	bud := p.bud
+	switch {
+	case p.cfg.Techniques.Has(CtxSGXDRAM):
+		return step{name: "save-ctx-dram", run: func(next func()) {
+			tgt := &pmu.DRAMTarget{Engine: p.eng}
+			lat, err := tgt.Save(p.ctxImage)
+			if err != nil {
+				p.fail("platform: context save: %v", err)
+				return
+			}
+			boot := ctxstore.BootImage{
+				MEEState:  p.eng.ExportState(),
+				MCConfig:  p.mcConfig(),
+				PMUVector: p.pmuVector(),
+			}
+			if err := p.bootFSM.Save(boot); err != nil {
+				p.fail("platform: boot image save: %v", err)
+				return
+			}
+			p.flowStats.ctxSaveLat = lat
+			p.sched.After(lat+bud.BootFSMLatency, "flow.save-ctx-dram", func() {
+				// The MEE, with its key and root counter, powers down;
+				// only the Boot SRAM retains state on-chip.
+				p.eng = nil
+				p.saSRAM.SetState(sram.Off)
+				p.computeSRAM.SetState(sram.Off)
+				p.bootSRAM.SetState(sram.Retention)
+				p.meter.Set(p.cVRSram, 0)
+				next()
+			})
+		}}
+	case p.cfg.CtxInEMRAM:
+		return step{name: "save-ctx-emram", run: func(next func()) {
+			p.emram = append(p.emram[:0], p.ctxImage...)
+			lat := sim.FromSeconds(float64(len(p.ctxImage)) / bud.EMRAMPortBW)
+			p.flowStats.ctxSaveLat = lat
+			p.sched.After(lat, "flow.save-ctx-emram", func() {
+				// eMRAM retains with the supply off: everything on-chip
+				// can power down, Boot SRAM included.
+				p.saSRAM.SetState(sram.Off)
+				p.computeSRAM.SetState(sram.Off)
+				p.bootSRAM.SetState(sram.Off)
+				p.meter.Set(p.cVRSram, 0)
+				next()
+			})
+		}}
+	default:
+		return step{name: "save-ctx-sram", run: func(next func()) {
+			saImg := p.ctx.Subset(ctxstore.SASectionNames()).Serialize()
+			cpImg := p.ctx.Subset(ctxstore.ComputeSectionNames()).Serialize()
+			saT := pmu.NewSRAMTarget(p.saSRAM)
+			cpT := pmu.NewSRAMTarget(p.computeSRAM)
+			if err := saT.Save(saImg); err != nil {
+				p.fail("platform: SA context save: %v", err)
+				return
+			}
+			if err := cpT.Save(cpImg); err != nil {
+				p.fail("platform: compute context save: %v", err)
+				return
+			}
+			// The two FSMs run concurrently; latency is the slower one.
+			lat := saT.SaveLatency(len(saImg))
+			if l := cpT.SaveLatency(len(cpImg)); l > lat {
+				lat = l
+			}
+			p.flowStats.ctxSaveLat = lat
+			p.sched.After(lat, "flow.save-ctx-sram", func() {
+				p.saSRAM.SetState(sram.Retention)
+				p.computeSRAM.SetState(sram.Retention)
+				p.bootSRAM.SetState(sram.Retention)
+				next()
+			})
+		}}
+	}
+}
+
+// armWake schedules the planned wake source once the platform is resident.
+func (p *Platform) armWake() {
+	counts := TimerCounts(p.idleFor)
+	switch p.plan.kind {
+	case chipset.WakeTimer:
+		if p.cfg.Techniques.Has(WakeUpOff) {
+			target := p.hub.Unit().Now() + counts
+			if err := p.hub.ArmTimerWake(target); err != nil {
+				p.fail("platform: arm chipset timer wake: %v", err)
+			}
+			return
+		}
+		// Baseline: the PMU's own wake timer, toggling at 24 MHz.
+		target := p.mainTimer.Read() + counts
+		at, ok := p.mainTimer.TimeOfValue(target)
+		if !ok {
+			p.fail("platform: baseline timer wake unreachable")
+			return
+		}
+		p.armedEv = p.sched.At(at, "pmu.timer-wake", func() {
+			p.onWake(chipset.WakeTimer, p.sched.Now())
+		})
+	case chipset.WakeExternal:
+		p.armedEv = p.sched.After(p.idleFor, "workload.external-wake", func() {
+			p.hub.ExternalWake()
+		})
+	case chipset.WakeThermal:
+		p.armedEv = p.sched.After(p.idleFor, "workload.thermal-wake", func() {
+			if err := p.hub.ThermalPin().Drive(true); err != nil {
+				p.fail("platform: thermal drive: %v", err)
+			}
+		})
+	}
+}
+
+// ---- Exit flow ----
+
+// onWake starts the exit flow. It is the hub's OnWake handler and also the
+// baseline PMU timer-wake target.
+func (p *Platform) onWake(src chipset.WakeSource, _ sim.Time) {
+	if p.err != nil {
+		return
+	}
+	if p.state == power.Entry {
+		// A wake event raced the entry flow. Aborting a half-torn-down
+		// platform is not possible in this design (nor in the paper's:
+		// the PMU sequences entry to completion); latch the event and
+		// exit immediately once resident.
+		p.pendingWake = &src
+		return
+	}
+	if p.state != power.Idle {
+		return
+	}
+	p.wakeCount[src]++
+	if p.armedEv != nil {
+		p.sched.Cancel(p.armedEv)
+		p.armedEv = nil
+	}
+	p.state = power.Exit
+	p.tracker.to(power.Exit)
+	p.applyPhase(phTrailer)
+	exitStart := p.sched.Now()
+
+	bud := p.bud
+	var steps []step
+	var reinit sim.Duration
+
+	if p.cfg.Techniques.Has(WakeUpOff) {
+		reinit += bud.ReinitWake
+		// Crystal back on, counting handed back to the fast timer at a
+		// 32 kHz edge (§4.1.2 exit).
+		steps = append(steps, step{name: "restore-fast-timer", run: func(next func()) {
+			err := p.hub.RestoreFastTimer(func(v uint64, _ sim.Time) {
+				p.restoredTimer = v
+				next()
+			})
+			if err != nil {
+				p.fail("platform: restore fast timer: %v", err)
+			}
+		}})
+		if p.cfg.Techniques.Has(AONIOGate) {
+			reinit += bud.ReinitAONIO
+			steps = append(steps, step{name: "release-fet", run: func(next func()) {
+				if err := p.hub.ReleaseProcessorIOs(); err != nil {
+					p.fail("platform: FET release: %v", err)
+					return
+				}
+				p.meter.Set(p.cFET, 0)
+				p.meter.Set(p.cVRAonIO, bud.VRAonIOMW)
+				if err := p.hub.MonitorThermal(p.xtal24); err != nil {
+					p.fail("platform: thermal re-host: %v", err)
+					return
+				}
+				p.sched.After(bud.FETSlew, "flow.fet-slew", next)
+			}})
+		}
+		// Timer value returns to the processor over the PML (§4.1.2). The
+		// chipset sends the live fast-timer register, not the value from
+		// the hand-over edge — intermediate waits (FET slew) have already
+		// elapsed on the fast clock.
+		steps = append(steps, step{name: "pml-timer-return", run: func(next func()) {
+			p.procDom.Ungate()
+			p.c2pContinue = next
+			err := p.linkC2P.Send(pml.Message{
+				Kind:  pml.TimerValue,
+				Value: p.linkC2P.CompensateTimer(p.hub.Unit().Now()),
+			})
+			if err != nil {
+				p.fail("platform: timer return: %v", err)
+			}
+		}})
+	}
+
+	// Power restoration runs at full exit level.
+	steps = append(steps, action("exit-power", func() { p.applyPhase(phExit) }))
+	steps = append(steps, p.wait("vr-on", bud.VROn))
+
+	// Context restore for the configured variant.
+	steps = append(steps, p.ctxRestoreSteps()...)
+
+	switch {
+	case p.cfg.Techniques.Has(CtxSGXDRAM):
+		reinit += bud.ReinitCtx
+	case p.cfg.CtxInEMRAM:
+		reinit += bud.ReinitMRAM
+	}
+	if reinit > 0 {
+		steps = append(steps, p.wait("technique-reinit", reinit))
+	}
+	steps = append(steps, p.wait("exit-firmware", bud.ExitFirmware))
+
+	p.runSteps("exit", steps, func() {
+		p.state = power.Active
+		p.tracker.to(power.Active)
+		p.applyPhase(phActive)
+		if src == chipset.WakeThermal {
+			// The EC deasserts its line once the wake is serviced, so the
+			// next thermal event produces a fresh rising edge.
+			if err := p.hub.ThermalPin().Drive(false); err != nil {
+				p.fail("platform: thermal deassert: %v", err)
+				return
+			}
+		}
+		p.flowStats.exits++
+		d := p.sched.Now().Sub(exitStart)
+		p.flowStats.exitTotal += d
+		if d > p.flowStats.exitMax {
+			p.flowStats.exitMax = d
+		}
+		p.inFlow = false
+		if done := p.cycleDone; done != nil {
+			p.cycleDone = nil
+			done()
+		}
+	})
+}
+
+// ctxRestoreSteps builds the context-restore stages (self-refresh exit
+// included, since reaching the context requires DRAM in every variant that
+// stored it there).
+func (p *Platform) ctxRestoreSteps() []step {
+	bud := p.bud
+	memUp := step{name: "dram-wake", run: func(next func()) {
+		if p.mem.NonVolatile() {
+			p.mem.SetCKE(true)
+		}
+		if err := p.mem.SetState(dram.Active); err != nil {
+			p.fail("platform: self-refresh exit: %v", err)
+			return
+		}
+		p.sched.After(bud.SelfRefreshExit, "flow.self-refresh-exit", next)
+	}}
+
+	switch {
+	case p.cfg.Techniques.Has(CtxSGXDRAM):
+		bootUp := step{name: "boot-fsm", run: func(next func()) {
+			p.bootSRAM.SetState(sram.Active)
+			boot, err := p.bootFSM.Restore()
+			if err != nil {
+				p.fail("platform: boot image restore: %v", err)
+				return
+			}
+			eng, err := mee.ImportState(p.mem, boot.MEEState, mee.DefaultCacheLines)
+			if err != nil {
+				p.fail("platform: MEE restore: %v", err)
+				return
+			}
+			if !bytes.Equal(boot.MCConfig, p.mcConfig()) {
+				p.fail("platform: memory-controller boot config mismatch")
+				return
+			}
+			p.eng = eng
+			p.sched.After(p.bootFSM.Latency(), "flow.boot-fsm", next)
+		}}
+		restore := step{name: "restore-ctx-dram", run: func(next func()) {
+			tgt := &pmu.DRAMTarget{Engine: p.eng}
+			data, lat, err := tgt.Restore(len(p.ctxImage))
+			if err != nil {
+				p.fail("platform: context restore: %v", err)
+				return
+			}
+			if sha256.Sum256(data) != p.ctxHash {
+				p.fail("platform: restored context hash mismatch")
+				return
+			}
+			p.flowStats.ctxRestore = lat
+			p.flowStats.ctxVerified++
+			p.sched.After(lat, "flow.restore-ctx-dram", func() {
+				p.saSRAM.SetState(sram.Active)
+				p.computeSRAM.SetState(sram.Active)
+				p.meter.Set(p.cVRSram, bud.VRSramMW)
+				next()
+			})
+		}}
+		// Boot FSM first (it is what lets the exit flow reach DRAM).
+		return []step{bootUp, memUp, restore}
+
+	case p.cfg.CtxInEMRAM:
+		restore := step{name: "restore-ctx-emram", run: func(next func()) {
+			if sha256.Sum256(p.emram) != p.ctxHash {
+				p.fail("platform: eMRAM context hash mismatch")
+				return
+			}
+			lat := sim.FromSeconds(float64(len(p.emram)) / bud.EMRAMPortBW)
+			p.flowStats.ctxRestore = lat
+			p.flowStats.ctxVerified++
+			p.sched.After(lat, "flow.restore-ctx-emram", func() {
+				p.saSRAM.SetState(sram.Active)
+				p.computeSRAM.SetState(sram.Active)
+				p.bootSRAM.SetState(sram.Active)
+				p.meter.Set(p.cVRSram, bud.VRSramMW)
+				next()
+			})
+		}}
+		return []step{memUp, restore}
+
+	default:
+		restore := step{name: "restore-ctx-sram", run: func(next func()) {
+			p.saSRAM.SetState(sram.Active)
+			p.computeSRAM.SetState(sram.Active)
+			p.bootSRAM.SetState(sram.Active)
+			saT := pmu.NewSRAMTarget(p.saSRAM)
+			cpT := pmu.NewSRAMTarget(p.computeSRAM)
+			saImg := p.ctx.Subset(ctxstore.SASectionNames()).Serialize()
+			cpImg := p.ctx.Subset(ctxstore.ComputeSectionNames()).Serialize()
+			saBack, err := saT.Restore(len(saImg))
+			if err != nil {
+				p.fail("platform: SA context restore: %v", err)
+				return
+			}
+			cpBack, err := cpT.Restore(len(cpImg))
+			if err != nil {
+				p.fail("platform: compute context restore: %v", err)
+				return
+			}
+			saCtx, err := ctxstore.Deserialize(saBack)
+			if err != nil {
+				p.fail("platform: SA context corrupt: %v", err)
+				return
+			}
+			cpCtx, err := ctxstore.Deserialize(cpBack)
+			if err != nil {
+				p.fail("platform: compute context corrupt: %v", err)
+				return
+			}
+			if !ctxstore.Merge(saCtx, cpCtx).Equal(p.ctx) {
+				p.fail("platform: restored context mismatch")
+				return
+			}
+			p.flowStats.ctxVerified++
+			lat := saT.RestoreLatency(len(saImg))
+			if l := cpT.RestoreLatency(len(cpImg)); l > lat {
+				lat = l
+			}
+			p.flowStats.ctxRestore = lat
+			p.sched.After(lat, "flow.restore-ctx-sram", next)
+		}}
+		return []step{memUp, restore}
+	}
+}
+
+// pml delivery dispatch: the platform wires these at New time.
+func (p *Platform) handleP2C(m pml.Message) {
+	switch m.Kind {
+	case pml.TimerValue:
+		next := p.p2cContinue
+		p.p2cContinue = nil
+		err := p.hub.AdoptTimer(m.Value, func(_ sim.Time) {
+			if next != nil {
+				next()
+			}
+		})
+		if err != nil {
+			p.fail("platform: chipset timer adopt: %v", err)
+		}
+	}
+}
+
+func (p *Platform) handleC2P(m pml.Message) {
+	switch m.Kind {
+	case pml.TimerValue:
+		if err := p.mainTimer.Set(m.Value); err != nil {
+			p.fail("platform: main timer reload: %v", err)
+			return
+		}
+		if next := p.c2pContinue; next != nil {
+			p.c2pContinue = nil
+			next()
+		}
+	}
+}

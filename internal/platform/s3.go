@@ -1,0 +1,112 @@
+package platform
+
+import (
+	"fmt"
+
+	"odrips/internal/dram"
+	"odrips/internal/power"
+	"odrips/internal/sim"
+	"odrips/internal/sram"
+)
+
+// ACPI S3 (suspend-to-RAM) support, for the §9 comparison between
+// connected standby and legacy suspend. In S3 the OS context lives in
+// self-refreshing DRAM and essentially everything else — processor,
+// chipset logic, radios — powers off. The platform cannot service network
+// traffic or timers: only an explicit user event resumes it, and the
+// resume runs through firmware (hundreds of milliseconds), not the
+// microsecond-scale DRIPS exit.
+
+// S3 budget constants: with the whole SoC off, the platform draws DRAM
+// self-refresh plus a sliver of EC/RTC and regulator quiescent current.
+const (
+	s3MiscMW    = 1.2 // EC in its own sleep state + RTC
+	s3VRMW      = 1.6 // one always-on regulator for the DRAM rail
+	s3ResumeDur = 450 * sim.Millisecond
+	s3EnterDur  = 80 * sim.Millisecond
+)
+
+// S3Result summarizes one suspend/resume cycle.
+type S3Result struct {
+	SuspendPowerMW float64
+	AvgPowerMW     float64
+	ResumeLatency  sim.Duration
+	Duration       sim.Duration
+}
+
+// RunS3Cycle suspends the platform to RAM for the given duration and
+// resumes it. The platform must be Active and between RunCycles
+// invocations. Connectivity is lost for the whole window: no LTR, no
+// chipset wake hub, no timers — the §9 distinction from connected standby.
+func (p *Platform) RunS3Cycle(suspended sim.Duration) (S3Result, error) {
+	if p.state != power.Active {
+		return S3Result{}, fmt.Errorf("platform: S3 entry from state %v", p.state)
+	}
+	if p.inFlow {
+		return S3Result{}, fmt.Errorf("platform: S3 entry during a flow")
+	}
+	if suspended <= 0 {
+		return S3Result{}, fmt.Errorf("platform: non-positive suspend duration")
+	}
+	start := p.sched.Now()
+	before := p.meter.Snapshot()
+
+	// Entry: the OS writes its image to DRAM and firmware sequences the
+	// platform down (seconds-scale path compressed into the entry cost).
+	p.tracker.to(power.Entry)
+	p.applyPhase(phEntry)
+	p.sched.After(s3EnterDur, "s3.enter", func() {
+		// Suspend: everything off but the DRAM rail and the EC sliver.
+		if err := p.mem.SetState(dram.SelfRefresh); err != nil {
+			p.fail("platform: S3 self-refresh: %v", err)
+			return
+		}
+		p.saSRAM.SetState(sram.Off)
+		p.computeSRAM.SetState(sram.Off)
+		p.bootSRAM.SetState(sram.Off)
+		p.xtal24.PowerOff()
+		m := p.meter
+		m.SetEfficiency(p.bud.EffIdle)
+		for _, c := range []*power.Component{
+			p.cCompute, p.cSA, p.cWake, p.cPMU, p.cChipsetAon,
+			p.cMonitor, p.cVRAonIO, p.cVRSram, p.cVRPmu, p.cFET,
+		} {
+			m.Set(c, 0)
+		}
+		m.Set(p.cMisc, s3MiscMW)
+		m.Set(p.cVRFixed, s3VRMW)
+		p.ring.SetGated(true)
+		p.tracker.to(power.Idle)
+		p.sched.After(suspended, "s3.user-resume", func() {
+			// Resume: firmware re-init, memory out of self-refresh, OS
+			// image reload. Hundreds of milliseconds (§9 / [56]).
+			p.tracker.to(power.Exit)
+			p.ring.SetGated(false)
+			p.xtal24.PowerOn()
+			p.applyPhase(phExit)
+			if err := p.mem.SetState(dram.Active); err != nil {
+				p.fail("platform: S3 resume: %v", err)
+				return
+			}
+			p.sched.After(s3ResumeDur, "s3.resume", func() {
+				p.saSRAM.SetState(sram.Active)
+				p.computeSRAM.SetState(sram.Active)
+				p.bootSRAM.SetState(sram.Active)
+				p.tracker.to(power.Active)
+				p.applyPhase(phActive)
+			})
+		})
+	})
+	p.sched.Run()
+	if p.err != nil {
+		return S3Result{}, p.err
+	}
+	iv := p.meter.Snapshot().Since(before)
+	total := p.sched.Now().Sub(start)
+	return S3Result{
+		AvgPowerMW:     iv.TotalJ() * 1e3 / total.Seconds(),
+		ResumeLatency:  s3ResumeDur,
+		Duration:       total,
+		SuspendPowerMW: s3MiscMW + s3VRMW + p.mem.IdleDrawMW(dram.SelfRefresh)/p.bud.EffIdle,
+	}, nil
+}

@@ -1,0 +1,67 @@
+package platform
+
+import (
+	"odrips/internal/power"
+	"odrips/internal/sim"
+)
+
+// tracker accumulates per-state residency and battery energy by diffing
+// meter snapshots at every state transition. It also merges the
+// per-component energy spent in the Idle state for the Fig. 1(b) breakdown.
+type tracker struct {
+	sched *sim.Scheduler
+	meter *power.Meter
+
+	cur      power.State
+	since    sim.Time
+	lastSnap power.Snapshot
+
+	residency map[power.State]sim.Duration
+	energyJ   map[power.State]float64
+	idleByCmp map[string]float64
+
+	transitions uint64
+}
+
+func newTracker(s *sim.Scheduler, m *power.Meter) *tracker {
+	return &tracker{
+		sched:     s,
+		meter:     m,
+		cur:       power.Active,
+		since:     s.Now(),
+		lastSnap:  m.Snapshot(),
+		residency: make(map[power.State]sim.Duration),
+		energyJ:   make(map[power.State]float64),
+		idleByCmp: make(map[string]float64),
+	}
+}
+
+// to closes the current state's interval and opens the next.
+func (t *tracker) to(next power.State) {
+	now := t.sched.Now()
+	snap := t.meter.Snapshot()
+	iv := snap.Since(t.lastSnap)
+	t.residency[t.cur] += now.Sub(t.since)
+	t.energyJ[t.cur] += iv.TotalJ()
+	if t.cur == power.Idle {
+		for name, j := range iv.ByName {
+			t.idleByCmp[name] += j
+		}
+	}
+	t.cur = next
+	t.since = now
+	t.lastSnap = snap
+	t.transitions++
+}
+
+// finish closes the open interval without changing state.
+func (t *tracker) finish() { t.to(t.cur) }
+
+// total returns the tracked wall time.
+func (t *tracker) total() sim.Duration {
+	var d sim.Duration
+	for _, v := range t.residency {
+		d += v
+	}
+	return d
+}

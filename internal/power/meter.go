@@ -1,0 +1,269 @@
+// Package power provides energy accounting for the simulated platform and
+// the analytic connected-standby power model of the paper (Equation 1).
+//
+// Every hardware block registers a Component with the platform Meter and
+// reports draw changes as the simulation runs. The meter integrates energy
+// exactly (piecewise-constant draws between events) at two levels:
+//
+//   - nominal energy, at the component's own supply, and
+//   - battery energy, with the power-delivery tax applied (the paper
+//     measures 74% delivery efficiency in DRIPS, footnote 5).
+//
+// The sampled power analyzer in package measure reads the meter's
+// instantaneous battery power, mirroring the paper's Keysight N6705B setup.
+package power
+
+import (
+	"fmt"
+	"sort"
+
+	"odrips/internal/sim"
+)
+
+// Supply says how a component is powered.
+type Supply int
+
+const (
+	// Delivered components sit behind a voltage regulator and pay the
+	// power-delivery tax: battery draw = nominal / efficiency.
+	Delivered Supply = iota
+	// Direct components draw straight from the battery rail (e.g. the
+	// quiescent current of the always-on regulators themselves).
+	Direct
+)
+
+// Component is a named power consumer. Create components with Meter.Register.
+type Component struct {
+	name   string
+	group  string
+	supply Supply
+
+	drawMW    float64
+	nominalJ  float64
+	batteryJ  float64
+	changedAt sim.Time
+}
+
+// Name returns the component name.
+func (c *Component) Name() string { return c.name }
+
+// Group returns the reporting group (e.g. "processor", "board").
+func (c *Component) Group() string { return c.group }
+
+// DrawMW returns the current nominal draw in milliwatts.
+func (c *Component) DrawMW() float64 { return c.drawMW }
+
+// Meter owns all components of a platform and integrates their energy.
+type Meter struct {
+	sched      *sim.Scheduler
+	byName     map[string]*Component
+	components []*Component
+	efficiency float64 // current power-delivery efficiency (0,1]
+}
+
+// NewMeter creates a meter with the given initial power-delivery efficiency.
+func NewMeter(sched *sim.Scheduler, efficiency float64) *Meter {
+	m := &Meter{sched: sched, byName: make(map[string]*Component)}
+	m.SetEfficiency(efficiency)
+	return m
+}
+
+// Register adds a component with zero initial draw. Registering a duplicate
+// name panics: component names identify breakdown rows.
+func (m *Meter) Register(name, group string, supply Supply) *Component {
+	if _, dup := m.byName[name]; dup {
+		panic(fmt.Sprintf("power: duplicate component %q", name))
+	}
+	c := &Component{name: name, group: group, supply: supply, changedAt: m.sched.Now()}
+	m.byName[name] = c
+	m.components = append(m.components, c)
+	return c
+}
+
+// Lookup returns a registered component, or nil.
+func (m *Meter) Lookup(name string) *Component { return m.byName[name] }
+
+// Components returns all components sorted by name.
+func (m *Meter) Components() []*Component {
+	out := append([]*Component(nil), m.components...)
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Efficiency returns the current power-delivery efficiency.
+func (m *Meter) Efficiency() float64 { return m.efficiency }
+
+// SetEfficiency changes the power-delivery efficiency from the current
+// instant onward, settling accumulated energy first.
+func (m *Meter) SetEfficiency(eff float64) {
+	if eff <= 0 || eff > 1 {
+		panic(fmt.Sprintf("power: efficiency %v out of (0,1]", eff))
+	}
+	m.settleAll()
+	m.efficiency = eff
+}
+
+// Set changes a component's nominal draw from the current instant onward.
+// Negative draws panic.
+func (m *Meter) Set(c *Component, drawMW float64) {
+	if drawMW < 0 {
+		panic(fmt.Sprintf("power: negative draw %v for %s", drawMW, c.name))
+	}
+	m.settle(c)
+	c.drawMW = drawMW
+}
+
+// settle accumulates a component's energy up to now.
+func (m *Meter) settle(c *Component) {
+	now := m.sched.Now()
+	dt := now.Sub(c.changedAt).Seconds()
+	if dt > 0 {
+		nomJ := c.drawMW * 1e-3 * dt
+		c.nominalJ += nomJ
+		if c.supply == Delivered {
+			c.batteryJ += nomJ / m.efficiency
+		} else {
+			c.batteryJ += nomJ
+		}
+	}
+	c.changedAt = now
+}
+
+func (m *Meter) settleAll() {
+	for _, c := range m.components {
+		m.settle(c)
+	}
+}
+
+// BatteryPowerMW returns the instantaneous platform draw at the battery.
+func (m *Meter) BatteryPowerMW() float64 {
+	var total float64
+	for _, c := range m.components {
+		if c.supply == Delivered {
+			total += c.drawMW / m.efficiency
+		} else {
+			total += c.drawMW
+		}
+	}
+	return total
+}
+
+// NominalPowerMW returns the instantaneous sum of nominal draws.
+func (m *Meter) NominalPowerMW() float64 {
+	var total float64
+	for _, c := range m.components {
+		total += c.drawMW
+	}
+	return total
+}
+
+// Snapshot captures per-component battery energy at the current instant.
+// Subtracting two snapshots gives the energy spent in an interval.
+type Snapshot struct {
+	At       sim.Time
+	BatteryJ map[string]float64
+	NominalJ map[string]float64
+}
+
+// Snapshot settles and captures all component energies.
+func (m *Meter) Snapshot() Snapshot {
+	m.settleAll()
+	s := Snapshot{
+		At:       m.sched.Now(),
+		BatteryJ: make(map[string]float64, len(m.components)),
+		NominalJ: make(map[string]float64, len(m.components)),
+	}
+	for _, c := range m.components {
+		s.BatteryJ[c.name] = c.batteryJ
+		s.NominalJ[c.name] = c.nominalJ
+	}
+	return s
+}
+
+// TotalBatteryJ returns the total battery energy in the snapshot, summed
+// in sorted-name order for run-to-run bit stability.
+func (s Snapshot) TotalBatteryJ() float64 { return sortedSum(s.BatteryJ) }
+
+func sortedSum(m map[string]float64) float64 {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var t float64
+	for _, n := range names {
+		t += m[n]
+	}
+	return t
+}
+
+// Interval is the energy spent between two snapshots.
+type Interval struct {
+	Duration sim.Duration
+	ByName   map[string]float64 // battery joules per component
+}
+
+// Since returns the per-component battery energy spent since the earlier
+// snapshot prev. Both snapshots must come from the same meter.
+func (s Snapshot) Since(prev Snapshot) Interval {
+	iv := Interval{
+		Duration: s.At.Sub(prev.At),
+		ByName:   make(map[string]float64, len(s.BatteryJ)),
+	}
+	for name, j := range s.BatteryJ {
+		iv.ByName[name] = j - prev.BatteryJ[name]
+	}
+	return iv
+}
+
+// TotalJ returns the total battery energy in the interval (sorted-order
+// summation; see TotalBatteryJ).
+func (iv Interval) TotalJ() float64 { return sortedSum(iv.ByName) }
+
+// AverageMW returns the interval's average battery power in milliwatts.
+func (iv Interval) AverageMW() float64 {
+	if iv.Duration <= 0 {
+		return 0
+	}
+	return iv.TotalJ() * 1e3 / iv.Duration.Seconds()
+}
+
+// Breakdown aggregates an interval's energy by component group, returning
+// group names sorted by descending share. Used for Fig. 1(b).
+type Slice struct {
+	Name    string
+	Joules  float64
+	Percent float64
+}
+
+// BreakdownBy aggregates interval energy through keyFn (e.g. by group or by
+// component) and returns slices sorted by descending energy.
+func (iv Interval) BreakdownBy(keyFn func(name string) string) []Slice {
+	names := make([]string, 0, len(iv.ByName))
+	for n := range iv.ByName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	agg := make(map[string]float64)
+	var total float64
+	for _, name := range names {
+		j := iv.ByName[name]
+		agg[keyFn(name)] += j
+		total += j
+	}
+	out := make([]Slice, 0, len(agg))
+	for k, j := range agg {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * j / total
+		}
+		out = append(out, Slice{Name: k, Joules: j, Percent: pct})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Joules != out[j].Joules {
+			return out[i].Joules > out[j].Joules
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

@@ -1,0 +1,77 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Title", "A", "Long column B")
+	tb.AddRow("1", "2")
+	tb.AddRow("longer-cell")
+	tb.AddNote("note %d", 42)
+	out := tb.String()
+	if !strings.Contains(out, "Title") || !strings.Contains(out, "Long column B") {
+		t.Fatalf("render missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "longer-cell") || !strings.Contains(out, "note 42") {
+		t.Fatalf("render missing body:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title + header + rule + 2 rows + note = 6 lines.
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// All grid lines equal width.
+	w := len(lines[1])
+	for _, l := range lines[1:5] {
+		if len(l) != w {
+			t.Fatalf("ragged table:\n%s", out)
+		}
+	}
+}
+
+func TestTableOverfullRowPanics(t *testing.T) {
+	tb := NewTable("x", "only")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overfull row did not panic")
+		}
+	}()
+	tb.AddRow("a", "b")
+}
+
+func TestSeriesRender(t *testing.T) {
+	s := &Series{Title: "bars", YLabel: "mW"}
+	s.Add(0, 10, "ten")
+	s.Add(1, 20, "twenty")
+	s.Add(2, 0, "zero")
+	out := s.String()
+	if !strings.Contains(out, "ten") || !strings.Contains(out, "twenty") {
+		t.Fatalf("series missing labels:\n%s", out)
+	}
+	// The 20-value bar must be about twice the 10-value bar.
+	var bar10, bar20 int
+	for _, line := range strings.Split(out, "\n") {
+		n := strings.Count(line, "#")
+		if strings.Contains(line, "ten ") || strings.HasSuffix(line, "# ") {
+		}
+		if strings.Contains(line, "ten") && !strings.Contains(line, "twenty") {
+			bar10 = n
+		}
+		if strings.Contains(line, "twenty") {
+			bar20 = n
+		}
+	}
+	if bar20 != 2*bar10 || bar10 == 0 {
+		t.Fatalf("bar scaling wrong (%d vs %d):\n%s", bar10, bar20, out)
+	}
+}
+
+func TestSeriesEmptyLabelUsesX(t *testing.T) {
+	s := &Series{Title: "t"}
+	s.Add(3.5, 1, "")
+	if !strings.Contains(s.String(), "3.5") {
+		t.Fatal("unlabeled point did not fall back to X")
+	}
+}

@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. Events are one-shot: once fired or
+// cancelled they are inert. The zero value is not usable; obtain events from
+// Scheduler.At or Scheduler.After.
+type Event struct {
+	when   Time
+	seq    uint64 // tie-break: FIFO among equal timestamps
+	index  int    // heap index, -1 when not queued
+	fn     func()
+	name   string
+	fired  bool
+	cancel bool
+}
+
+// When returns the instant the event is (or was) scheduled for.
+func (e *Event) When() Time { return e.when }
+
+// Name returns the debugging label given at scheduling time.
+func (e *Event) Name() string { return e.name }
+
+// Pending reports whether the event is still queued.
+func (e *Event) Pending() bool { return e.index >= 0 && !e.cancel }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Scheduler is a deterministic discrete-event scheduler. It is not safe for
+// concurrent use; the whole platform model is single-threaded by design so
+// that every run is exactly reproducible.
+type Scheduler struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	fired   uint64
+	running bool
+}
+
+// NewScheduler returns a scheduler positioned at the epoch.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now returns the current simulated instant.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Fired returns the total number of events dispatched so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Pending returns the number of queued events.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at instant t. Scheduling in the past panics: the
+// model has a bug if it ever asks for that. Events at the current instant
+// are legal and run after the currently-executing event returns.
+func (s *Scheduler) At(t Time, name string, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v, before now %v", name, t, s.now))
+	}
+	e := &Event{when: t, seq: s.seq, fn: fn, name: name, index: -1}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d after the current instant.
+func (s *Scheduler) After(d Duration, name string, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: scheduling %q with negative delay %v", name, d))
+	}
+	return s.At(s.now.Add(d), name, fn)
+}
+
+// Cancel removes a pending event. Cancelling a fired or already-cancelled
+// event is a no-op, so callers can cancel unconditionally.
+func (s *Scheduler) Cancel(e *Event) {
+	if e == nil || e.fired || e.cancel {
+		return
+	}
+	e.cancel = true
+	if e.index >= 0 {
+		heap.Remove(&s.queue, e.index)
+	}
+}
+
+// Step dispatches the single earliest pending event and returns true, or
+// returns false if the queue is empty.
+func (s *Scheduler) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.cancel {
+			continue
+		}
+		s.now = e.when
+		e.fired = true
+		s.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run dispatches events until the queue drains.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil dispatches events with timestamps <= deadline, then advances the
+// clock to the deadline. Events scheduled beyond the deadline stay queued.
+func (s *Scheduler) RunUntil(deadline Time) {
+	for len(s.queue) > 0 {
+		e := s.queue[0]
+		if e.cancel {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if e.when > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// RunFor advances the simulation by d.
+func (s *Scheduler) RunFor(d Duration) { s.RunUntil(s.now.Add(d)) }
+
+// Every schedules fn at t0, t0+period, t0+2*period, ... until the returned
+// Ticker is stopped. fn receives the tick instant.
+func (s *Scheduler) Every(t0 Time, period Duration, name string, fn func(Time)) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: ticker %q with non-positive period %v", name, period))
+	}
+	tk := &Ticker{sched: s, period: period, name: name, fn: fn}
+	tk.arm(t0)
+	return tk
+}
+
+// Ticker is a repeating event created by Scheduler.Every.
+type Ticker struct {
+	sched   *Scheduler
+	period  Duration
+	name    string
+	fn      func(Time)
+	ev      *Event
+	stopped bool
+}
+
+func (tk *Ticker) arm(t Time) {
+	tk.ev = tk.sched.At(t, tk.name, func() {
+		if tk.stopped {
+			return
+		}
+		at := tk.sched.Now()
+		tk.arm(at.Add(tk.period))
+		tk.fn(at)
+	})
+}
+
+// Stop cancels future ticks. Stop is idempotent.
+func (tk *Ticker) Stop() {
+	if tk.stopped {
+		return
+	}
+	tk.stopped = true
+	tk.sched.Cancel(tk.ev)
+}

@@ -1,0 +1,72 @@
+package timer_test
+
+import (
+	"fmt"
+	"log"
+
+	"odrips/internal/clock"
+	"odrips/internal/sim"
+	"odrips/internal/timer"
+)
+
+// Example reproduces the paper's §4.1.3 arithmetic: plan the fixed-point
+// geometry for the Skylake clock pair, calibrate, and inspect the Step.
+func Example() {
+	s := sim.NewScheduler()
+	fast := clock.NewOscillator(s, "xtal24", 24_000_000, 0, 0)
+	slow := clock.NewOscillator(s, "xtal32", 32_768, 0, 0)
+	fast.PowerOn()
+	slow.PowerOn()
+
+	m, f, nSlow := timer.PlanCalibration(fast.NominalHz(), slow.NominalHz())
+	fmt.Printf("Step geometry: Q%d.%d, window 2^%d = %d slow cycles\n", m, f, f, nSlow)
+
+	res, err := timer.CalibrateNow(s, fast, slow)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Step = %.6f (true ratio 732.421875)\n", res.Step.Float())
+	fmt.Printf("drift bound: %.2f ppb\n", res.DriftPPB())
+	// Output:
+	// Step geometry: Q10.21, window 2^21 = 2097152 slow cycles
+	// Step = 732.421875 (true ratio 732.421875)
+	// drift bound: 0.65 ppb
+}
+
+// ExampleUnit walks the Fig. 3(b) hand-over: counting moves to the slow
+// timer at a 32.768 kHz edge, the fast crystal turns off, and on exit the
+// fast timer resumes within one slow period of the true value.
+func ExampleUnit() {
+	s := sim.NewScheduler()
+	fast := clock.NewOscillator(s, "xtal24", 24_000_000, 0, 0)
+	slow := clock.NewOscillator(s, "xtal32", 32_768, 0, 0)
+	fast.PowerOn()
+	slow.PowerOn()
+	dom := clock.NewDomain("chipset.clk24", fast)
+	res, err := timer.CalibrateNow(s, fast, slow)
+	if err != nil {
+		log.Fatal(err)
+	}
+	u := timer.NewUnit(s, dom, slow, res.Step)
+
+	if err := u.EnterSlow(1_000_000, func(at sim.Time) {
+		dom.Gate()
+		fast.PowerOff()
+		fmt.Println("slow timer hosting; 24 MHz crystal off")
+	}); err != nil {
+		log.Fatal(err)
+	}
+	s.RunFor(sim.Second)
+
+	fast.PowerOn()
+	dom.Ungate()
+	if err := u.ExitFast(func(v uint64, at sim.Time) {
+		fmt.Printf("fast timer reloaded near 25e6: %v\n", v > 24_900_000 && v < 25_100_000)
+	}); err != nil {
+		log.Fatal(err)
+	}
+	s.RunFor(sim.Millisecond)
+	// Output:
+	// slow timer hosting; 24 MHz crystal off
+	// fast timer reloaded near 25e6: true
+}

@@ -1,0 +1,42 @@
+package timer
+
+import (
+	"fmt"
+	"math/bits"
+
+	"odrips/internal/fixedpoint"
+)
+
+// stepsToReach returns the smallest n >= 1 such that after n additions of
+// step, the accumulator's integer part reaches target. The accumulator is
+// not modified. Requires target > acc.Floor().
+//
+// Derivation: the integer part after n steps is
+// Int + floor((frac + n*stepRaw) / 2^f), so we need
+// frac + n*stepRaw >= (target-Int) * 2^f, i.e.
+// n = ceil(((target-Int)*2^f - frac) / stepRaw), computed in 128 bits.
+func stepsToReach(acc *fixedpoint.Acc, step fixedpoint.Q, target uint64) (uint64, error) {
+	if step.Raw == 0 {
+		return 0, fmt.Errorf("timer: zero step never reaches target")
+	}
+	delta := target - acc.Floor() // caller guarantees target > floor
+	f := step.FracBits
+	hi, lo := bits.Mul64(delta, 1<<f)
+	// Subtract the current fraction.
+	var borrow uint64
+	lo, borrow = bits.Sub64(lo, acc.Frac(), 0)
+	hi, _ = bits.Sub64(hi, 0, borrow)
+	if hi >= step.Raw {
+		// Quotient would overflow 64 bits; only possible when the step is
+		// below 1.0 (slow clock faster than fast clock) with a huge delta.
+		return 0, fmt.Errorf("timer: target %d unreachable in 2^64 steps", target)
+	}
+	q, r := bits.Div64(hi, lo, step.Raw)
+	if r != 0 {
+		q++
+	}
+	if q == 0 {
+		q = 1
+	}
+	return q, nil
+}

@@ -1,0 +1,193 @@
+package timer
+
+import (
+	"fmt"
+
+	"odrips/internal/clock"
+	"odrips/internal/fixedpoint"
+	"odrips/internal/sim"
+)
+
+// Mode is the timekeeping mode of the switch unit.
+type Mode int
+
+const (
+	// ModeFast: the fast timer counts on the 24 MHz clock.
+	ModeFast Mode = iota
+	// ModeEnteringSlow: Switch_to_32KHz asserted, waiting for the 32 kHz
+	// rising edge that hands counting to the slow timer.
+	ModeEnteringSlow
+	// ModeSlow: the slow timer steps on the 32.768 kHz clock; the fast
+	// clock may be gated and its crystal powered off.
+	ModeSlow
+	// ModeExitingFast: Switch_to_32KHz de-asserted, waiting for the 32 kHz
+	// rising edge that hands counting back to the fast timer.
+	ModeExitingFast
+)
+
+var modeNames = [...]string{"fast", "entering-slow", "slow", "exiting-fast"}
+
+// String returns the mode name.
+func (m Mode) String() string {
+	if m < 0 || int(m) >= len(modeNames) {
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+	return modeNames[m]
+}
+
+// Unit is the chipset timer-switch hardware of Fig. 3(a): a fast timer, a
+// slow timer, the Switch_to_32KHz control, and the hand-over protocol of
+// Fig. 3(b). Crystal power and clock gating remain the chipset PMU's job;
+// the unit only sequences the counters.
+type Unit struct {
+	sched   *sim.Scheduler
+	fastDom *clock.Domain
+	slowOsc *clock.Oscillator
+
+	Fast *FastCounter
+	Slow *SlowCounter
+
+	mode       Mode
+	switchFlag bool // the Switch_to_32KHz signal
+
+	// Trace, if non-nil, receives protocol milestones for waveform
+	// reconstruction (Fig. 3(b)): "assert-switch", "slow-loaded",
+	// "deassert-switch", "fast-reloaded".
+	Trace func(event string, at sim.Time, value uint64)
+}
+
+// NewUnit builds a switch unit in fast mode with the given calibrated step.
+func NewUnit(sched *sim.Scheduler, fastDom *clock.Domain, slowOsc *clock.Oscillator, step fixedpoint.Q) *Unit {
+	return &Unit{
+		sched:   sched,
+		fastDom: fastDom,
+		slowOsc: slowOsc,
+		Fast:    NewFastCounter(sched, "chipset.fast-timer", fastDom),
+		Slow:    NewSlowCounter(sched, "chipset.slow-timer", slowOsc, step),
+	}
+}
+
+// Mode returns the current timekeeping mode.
+func (u *Unit) Mode() Mode { return u.mode }
+
+// SwitchAsserted reports the Switch_to_32KHz signal level.
+func (u *Unit) SwitchAsserted() bool { return u.switchFlag }
+
+func (u *Unit) trace(event string, value uint64) {
+	if u.Trace != nil {
+		u.Trace(event, u.sched.Now(), value)
+	}
+}
+
+// EnterSlow starts the ODRIPS-entry hand-over: load the fast timer with
+// value (the main-timer value, already compensated for the PML transfer),
+// assert Switch_to_32KHz, and at the next 32 kHz rising edge copy the fast
+// timer into the slow timer and freeze the fast timer. done fires at that
+// edge; afterwards the caller may gate the 24 MHz clock and power off its
+// crystal.
+func (u *Unit) EnterSlow(value uint64, done func(at sim.Time)) error {
+	if u.mode != ModeFast {
+		return fmt.Errorf("timer: EnterSlow in mode %s", u.mode)
+	}
+	if err := u.Fast.Set(value); err != nil {
+		return err
+	}
+	u.mode = ModeEnteringSlow
+	u.switchFlag = true
+	u.trace("assert-switch", value)
+	ev := u.slowOsc.ScheduleEdge("timer.switch.to-slow", func() {
+		v := u.Fast.Read()
+		u.Fast.Stop()
+		if err := u.Slow.Load(v); err != nil {
+			panic(fmt.Sprintf("timer: slow load failed mid-protocol: %v", err))
+		}
+		u.mode = ModeSlow
+		u.trace("slow-loaded", v)
+		if done != nil {
+			done(u.sched.Now())
+		}
+	})
+	if ev == nil {
+		u.mode = ModeFast
+		u.switchFlag = false
+		return fmt.Errorf("timer: 32 kHz oscillator not running")
+	}
+	return nil
+}
+
+// ExitFast starts the ODRIPS-exit hand-over: de-assert Switch_to_32KHz and
+// at the next 32 kHz rising edge with the 24 MHz domain running, copy the
+// slow timer's integer part into the fast timer and resume fast counting.
+// The caller must power the 24 MHz crystal back on first; if it is still
+// stabilizing, the protocol waits additional 32 kHz edges until it is
+// usable. done receives the reloaded value.
+func (u *Unit) ExitFast(done func(value uint64, at sim.Time)) error {
+	if u.mode != ModeSlow {
+		return fmt.Errorf("timer: ExitFast in mode %s", u.mode)
+	}
+	if !u.fastDom.Source().On() {
+		return fmt.Errorf("timer: ExitFast with 24 MHz crystal off")
+	}
+	u.mode = ModeExitingFast
+	u.switchFlag = false
+	u.trace("deassert-switch", u.Slow.Read())
+	u.exitAttempt(done)
+	return nil
+}
+
+func (u *Unit) exitAttempt(done func(uint64, sim.Time)) {
+	ev := u.slowOsc.ScheduleEdge("timer.switch.to-fast", func() {
+		if !u.fastDom.Running() {
+			// Crystal still stabilizing or domain still gated: retry at
+			// the next slow edge. Schedule strictly after now.
+			u.sched.After(sim.Duration(1), "timer.switch.retry", func() {
+				u.exitAttempt(done)
+			})
+			return
+		}
+		v := u.Slow.Read() // upper 64 bits of the (64+f)-bit register
+		u.Slow.Stop()
+		if err := u.Fast.Set(v); err != nil {
+			panic(fmt.Sprintf("timer: fast reload failed mid-protocol: %v", err))
+		}
+		u.mode = ModeFast
+		u.trace("fast-reloaded", v)
+		if done != nil {
+			done(v, u.sched.Now())
+		}
+	})
+	if ev == nil {
+		panic("timer: 32 kHz oscillator stopped mid-protocol")
+	}
+}
+
+// Now returns the current timekeeping value in either stable mode. During
+// a hand-over it returns the value of whichever counter is authoritative.
+func (u *Unit) Now() uint64 {
+	switch u.mode {
+	case ModeFast, ModeEnteringSlow:
+		return u.Fast.Read()
+	default:
+		return u.Slow.Read()
+	}
+}
+
+// WakeAt schedules fn at the first instant the timekeeping value reaches
+// target. It must be called in a stable mode (fast or slow); hand-overs
+// re-arm wakes themselves.
+func (u *Unit) WakeAt(target uint64, name string, fn func()) (*sim.Event, error) {
+	var at sim.Time
+	var ok bool
+	switch u.mode {
+	case ModeFast:
+		at, ok = u.Fast.TimeOfValue(target)
+	case ModeSlow:
+		at, ok = u.Slow.TimeOfValue(target)
+	default:
+		return nil, fmt.Errorf("timer: WakeAt during hand-over (%s)", u.mode)
+	}
+	if !ok {
+		return nil, fmt.Errorf("timer: WakeAt(%d) unreachable in mode %s", target, u.mode)
+	}
+	return u.sched.At(at, name, fn), nil
+}

@@ -1,0 +1,62 @@
+package odrips
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPublicAPIEndToEnd exercises the facade the way the examples do.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	base, err := NewPlatform(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRes, err := base.RunCycles(FixedCycles(2, 0, 30*Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := NewPlatform(ODRIPSConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	optRes, err := opt.RunCycles(FixedCycles(2, 0, 30*Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := 100 * (baseRes.AvgPowerMW - optRes.AvgPowerMW) / baseRes.AvgPowerMW
+	if math.Abs(red-22) > 1.5 {
+		t.Fatalf("ODRIPS reduction via public API = %.1f%%, want ~22%%", red)
+	}
+	be, err := BreakEven(baseRes.CycleEnergy, optRes.CycleEnergy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms := be.Milliseconds(); ms < 5.5 || ms > 7.5 {
+		t.Fatalf("break-even = %.2f ms, want ~6.5", ms)
+	}
+}
+
+func TestPublicWorkloadGenerators(t *testing.T) {
+	cs := ConnectedStandby(5, 1)
+	if len(cs) != 5 {
+		t.Fatal("ConnectedStandby wrong length")
+	}
+	p, err := NewPlatform(ODRIPSConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mixed realistic workload must run clean through the facade.
+	res, err := p.RunCycles(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 5 || res.AvgPowerMW <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestPublicTableRenders(t *testing.T) {
+	if s := Table1().String(); len(s) < 100 {
+		t.Fatal("Table1 render too short")
+	}
+}
