@@ -1,0 +1,35 @@
+GO      ?= go
+PKGS    := ./...
+STAMP   := $(shell date -u +%Y%m%dT%H%M%SZ)
+
+.PHONY: all build test vet race verify bench bench-sweep clean
+
+all: build test
+
+build:
+	$(GO) build $(PKGS)
+
+test:
+	$(GO) test $(PKGS)
+
+vet:
+	$(GO) vet $(PKGS)
+
+race:
+	$(GO) test -race $(PKGS)
+
+# The CI verify tier: static analysis plus the full suite under the race
+# detector (the parallel sweep engine is exercised by every experiment test).
+verify: vet race
+
+# Record the full benchmark suite (with allocation stats) to a timestamped
+# JSON artifact for before/after comparison.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -json $(PKGS) | tee BENCH_$(STAMP).json
+
+# Just the heavyweight sweep benchmark, one iteration.
+bench-sweep:
+	$(GO) test -run '^$$' -bench 'BenchmarkFig6aSweep|BenchmarkSchedulerChurn' -benchmem -benchtime 1x .
+
+clean:
+	rm -f BENCH_*.json

@@ -12,9 +12,14 @@ package odrips
 // -1.4%/+1%; Fig. 6(c) -0.3%/-0.7%; Fig. 6(d) ODRIPS-PCM -37%; §6.3 context
 // save/restore 18/13 µs; §4.1.3 m=10, f=21, 1 ppb; §7 model accuracy ~95%.
 
-import "testing"
+import (
+	"testing"
+
+	"odrips/internal/sim"
+)
 
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if len(Table1().Rows) == 0 {
 			b.Fatal("empty Table 1")
@@ -23,6 +28,7 @@ func BenchmarkTable1(b *testing.B) {
 }
 
 func BenchmarkFig1b(b *testing.B) {
+	b.ReportAllocs()
 	var total float64
 	for i := 0; i < b.N; i++ {
 		r, err := Fig1b()
@@ -35,6 +41,7 @@ func BenchmarkFig1b(b *testing.B) {
 }
 
 func BenchmarkFig2(b *testing.B) {
+	b.ReportAllocs()
 	var avg, resid float64
 	for i := 0; i < b.N; i++ {
 		r, err := Fig2()
@@ -53,6 +60,7 @@ func BenchmarkFig2(b *testing.B) {
 }
 
 func BenchmarkFig3b(b *testing.B) {
+	b.ReportAllocs()
 	var events int
 	for i := 0; i < b.N; i++ {
 		r, err := Fig3b()
@@ -65,6 +73,7 @@ func BenchmarkFig3b(b *testing.B) {
 }
 
 func BenchmarkCalibration(b *testing.B) {
+	b.ReportAllocs()
 	var drift float64
 	for i := 0; i < b.N; i++ {
 		r, err := Calibration()
@@ -77,6 +86,7 @@ func BenchmarkCalibration(b *testing.B) {
 }
 
 func BenchmarkFig6a(b *testing.B) {
+	b.ReportAllocs()
 	var odripsRed, odripsBE float64
 	for i := 0; i < b.N; i++ {
 		r, err := Fig6a(SweepOptions{})
@@ -95,10 +105,12 @@ func BenchmarkFig6a(b *testing.B) {
 }
 
 func BenchmarkFig6aSweep(b *testing.B) {
+	b.ReportAllocs()
 	// The empirical residency sweep (coarse grid; PaperSweepGrid() for the
 	// full 0.6 ms–1 s @0.1 ms run).
 	var be float64
 	for i := 0; i < b.N; i++ {
+		ResetPointCache() // measure cold-cache sweeps, not memo hits
 		r, err := Fig6a(DefaultSweep())
 		if err != nil {
 			b.Fatal(err)
@@ -113,6 +125,7 @@ func BenchmarkFig6aSweep(b *testing.B) {
 }
 
 func BenchmarkFig6b(b *testing.B) {
+	b.ReportAllocs()
 	var saving1GHz float64
 	for i := 0; i < b.N; i++ {
 		r, err := Fig6b()
@@ -125,6 +138,7 @@ func BenchmarkFig6b(b *testing.B) {
 }
 
 func BenchmarkFig6c(b *testing.B) {
+	b.ReportAllocs()
 	var saving800 float64
 	for i := 0; i < b.N; i++ {
 		r, err := Fig6c()
@@ -137,6 +151,7 @@ func BenchmarkFig6c(b *testing.B) {
 }
 
 func BenchmarkFig6d(b *testing.B) {
+	b.ReportAllocs()
 	var pcmRed float64
 	for i := 0; i < b.N; i++ {
 		r, err := Fig6d(SweepOptions{})
@@ -153,6 +168,7 @@ func BenchmarkFig6d(b *testing.B) {
 }
 
 func BenchmarkCtxLatency(b *testing.B) {
+	b.ReportAllocs()
 	var saveUS, restoreUS float64
 	for i := 0; i < b.N; i++ {
 		r, err := CtxLatency()
@@ -171,6 +187,7 @@ func BenchmarkCtxLatency(b *testing.B) {
 }
 
 func BenchmarkModelValidation(b *testing.B) {
+	b.ReportAllocs()
 	var worst float64
 	for i := 0; i < b.N; i++ {
 		r, err := ModelValidation()
@@ -183,6 +200,7 @@ func BenchmarkModelValidation(b *testing.B) {
 }
 
 func BenchmarkAblationMEECache(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := AblationMEECache(); err != nil {
 			b.Fatal(err)
@@ -191,6 +209,7 @@ func BenchmarkAblationMEECache(b *testing.B) {
 }
 
 func BenchmarkAblationTimerAlternatives(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := AblationTimerAlternatives(); err != nil {
 			b.Fatal(err)
@@ -199,6 +218,7 @@ func BenchmarkAblationTimerAlternatives(b *testing.B) {
 }
 
 func BenchmarkAblationIOGate(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := AblationIOGate(); err != nil {
 			b.Fatal(err)
@@ -207,6 +227,7 @@ func BenchmarkAblationIOGate(b *testing.B) {
 }
 
 func BenchmarkAblationReinitSensitivity(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := AblationReinitSensitivity(); err != nil {
 			b.Fatal(err)
@@ -215,6 +236,7 @@ func BenchmarkAblationReinitSensitivity(b *testing.B) {
 }
 
 func BenchmarkWakeCoalescing(b *testing.B) {
+	b.ReportAllocs()
 	var bigBufferMW float64
 	for i := 0; i < b.N; i++ {
 		r, err := WakeCoalescing()
@@ -227,6 +249,7 @@ func BenchmarkWakeCoalescing(b *testing.B) {
 }
 
 func BenchmarkProcessScaling(b *testing.B) {
+	b.ReportAllocs()
 	var acc float64
 	for i := 0; i < b.N; i++ {
 		r, err := ProcessScaling()
@@ -239,6 +262,7 @@ func BenchmarkProcessScaling(b *testing.B) {
 }
 
 func BenchmarkWakeLatency(b *testing.B) {
+	b.ReportAllocs()
 	var deltaUS float64
 	for i := 0; i < b.N; i++ {
 		r, err := WakeLatency()
@@ -251,6 +275,7 @@ func BenchmarkWakeLatency(b *testing.B) {
 }
 
 func BenchmarkTDPSensitivity(b *testing.B) {
+	b.ReportAllocs()
 	var lowTDP float64
 	for i := 0; i < b.N; i++ {
 		r, err := TDPSensitivity()
@@ -263,6 +288,7 @@ func BenchmarkTDPSensitivity(b *testing.B) {
 }
 
 func BenchmarkCalibrationAging(b *testing.B) {
+	b.ReportAllocs()
 	var stale2ppm float64
 	for i := 0; i < b.N; i++ {
 		r, err := CalibrationAging()
@@ -275,6 +301,7 @@ func BenchmarkCalibrationAging(b *testing.B) {
 }
 
 func BenchmarkTransitionAnatomy(b *testing.B) {
+	b.ReportAllocs()
 	var deltaUJ float64
 	for i := 0; i < b.N; i++ {
 		base, err := TransitionAnatomy(0)
@@ -291,6 +318,7 @@ func BenchmarkTransitionAnatomy(b *testing.B) {
 }
 
 func BenchmarkStandbyComparison(b *testing.B) {
+	b.ReportAllocs()
 	var s3mW float64
 	for i := 0; i < b.N; i++ {
 		r, err := Standby()
@@ -302,10 +330,27 @@ func BenchmarkStandbyComparison(b *testing.B) {
 	b.ReportMetric(s3mW, "S3_floor_mW")
 }
 
+// BenchmarkSchedulerChurn exercises the scheduler hot path the platform
+// model leans on: schedule two events, cancel one, fire the other. The
+// free-list event pool keeps this at zero allocations per operation.
+func BenchmarkSchedulerChurn(b *testing.B) {
+	b.ReportAllocs()
+	s := sim.NewScheduler()
+	nop := func() {}
+	for i := 0; i < b.N; i++ {
+		keep := s.After(sim.Duration(1), "keep", nop)
+		drop := s.After(sim.Duration(2), "drop", nop)
+		s.Cancel(drop)
+		s.Step()
+		_ = keep
+	}
+}
+
 // BenchmarkConnectedStandbySixHours measures simulator throughput on a
 // long realistic workload: six hours of connected standby (~720 cycles,
 // every context save/restore running real MEE crypto).
 func BenchmarkConnectedStandbySixHours(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		p, err := NewPlatform(ODRIPSConfig())
 		if err != nil {

@@ -7,6 +7,11 @@
 //	odrips-bench -exp fig6a      # one experiment
 //	odrips-bench -sweep fast     # add the empirical residency sweep
 //	odrips-bench -sweep paper    # full 0.6 ms–1 s @0.1 ms grid (slow)
+//	odrips-bench -workers 8      # cap the simulation worker pool
+//
+// Independent simulation points fan out across a worker pool sized by
+// -workers (default: all cores). Results are deterministic: any worker
+// count, including -workers 1, produces identical output.
 package main
 
 import (
@@ -22,7 +27,14 @@ func main() {
 	expFlag := flag.String("exp", "all",
 		"comma-separated experiments: table1,fig1b,fig2,fig3b,calibration,fig6a,fig6b,fig6c,fig6d,ctxlatency,validation,ablations,coalescing,scaling,standby,anatomy,aging,tdp,wakelatency")
 	sweepFlag := flag.String("sweep", "none", "break-even sweep: none, fast, or paper")
+	workers := flag.Int("workers", 0, "simulation worker pool size (0 = all cores, 1 = sequential)")
 	flag.Parse()
+
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "odrips-bench: negative worker count %d\n", *workers)
+		os.Exit(2)
+	}
+	odrips.SetDefaultWorkers(*workers)
 
 	var sweep odrips.SweepOptions
 	switch *sweepFlag {
@@ -35,6 +47,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "odrips-bench: unknown sweep mode %q\n", *sweepFlag)
 		os.Exit(2)
 	}
+	sweep.Workers = *workers
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*expFlag, ",") {

@@ -6,6 +6,11 @@
 //	odrips-sim -config odrips -cycles 10
 //	odrips-sim -config baseline -idle 30s -corefreq 1000
 //	odrips-sim -config odrips-pcm -cycles 5 -seed 7
+//	odrips-sim -config odrips -breakeven -workers 8
+//
+// -breakeven runs the empirical residency sweep of the selected
+// configuration against the baseline, fanning sweep points across a
+// -workers-sized pool (default: all cores) with deterministic results.
 package main
 
 import (
@@ -57,6 +62,8 @@ func main() {
 	s3 := flag.Bool("s3", false, "run one ACPI S3 suspend/resume cycle instead of connected standby")
 	flows := flag.Bool("flows", false, "print the recorded entry/exit flow steps")
 	traceFile := flag.String("workload", "", "CSV trace of cycles (active_ms,idle_ms,wake); overrides -cycles/-idle")
+	breakeven := flag.Bool("breakeven", false, "sweep the empirical break-even residency vs the baseline configuration")
+	workers := flag.Int("workers", 0, "simulation worker pool size for -breakeven (0 = all cores, 1 = sequential)")
 	flag.Parse()
 
 	cfg, err := configByName(*name)
@@ -74,6 +81,24 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "odrips-sim: unknown generation %q\n", *generation)
 		os.Exit(2)
+	}
+
+	if *breakeven {
+		sweep := odrips.DefaultSweep()
+		sweep.Workers = *workers
+		be, ok, err := odrips.SweepBreakEven(odrips.DefaultConfig(), cfg, sweep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "odrips-sim: break-even sweep: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("configuration:        %s\n", cfg.Name())
+		if !ok {
+			fmt.Printf("break-even residency: none in [%v, %v]\n", sweep.Lo, sweep.Hi)
+			return
+		}
+		fmt.Printf("break-even residency: %.2f ms (grid %v..%v step %v)\n",
+			be.Milliseconds(), sweep.Lo, sweep.Hi, sweep.Step)
+		return
 	}
 
 	p, err := odrips.NewPlatform(cfg)

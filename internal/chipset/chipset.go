@@ -58,7 +58,7 @@ type Hub struct {
 
 	hosting   bool // chipset currently owns platform timekeeping
 	wakeFired bool
-	wakeEv    *sim.Event
+	wakeEv    sim.Event
 
 	wakes map[WakeSource]uint64
 }
@@ -148,9 +148,7 @@ func (h *Hub) ArmTimerWake(target uint64) error {
 	if err != nil {
 		return err
 	}
-	if h.wakeEv != nil {
-		h.sched.Cancel(h.wakeEv)
-	}
+	h.sched.Cancel(h.wakeEv)
 	h.wakeEv = ev
 	return nil
 }
@@ -189,10 +187,8 @@ func (h *Hub) fireWake(src WakeSource) {
 	}
 	h.wakeFired = true
 	h.wakes[src]++
-	if h.wakeEv != nil {
-		h.sched.Cancel(h.wakeEv)
-		h.wakeEv = nil
-	}
+	h.sched.Cancel(h.wakeEv)
+	h.wakeEv = sim.Event{}
 	if h.OnWake != nil {
 		h.OnWake(src, h.sched.Now())
 	}

@@ -211,23 +211,24 @@ func (o *Oscillator) edgesUpTo(t sim.Time) uint64 {
 }
 
 // ScheduleEdge schedules fn at the first rising edge at or after the
-// current instant and returns the event, or nil if the oscillator is off.
-// This is how firmware flows "wait for the rising edge" of a clock
-// (paper Fig. 3(b)).
-func (o *Oscillator) ScheduleEdge(name string, fn func()) *sim.Event {
+// current instant and returns the event, or an invalid (zero) event if the
+// oscillator is off. This is how firmware flows "wait for the rising edge"
+// of a clock (paper Fig. 3(b)).
+func (o *Oscillator) ScheduleEdge(name string, fn func()) sim.Event {
 	_, at, ok := o.NextEdge(o.sched.Now())
 	if !ok {
-		return nil
+		return sim.Event{}
 	}
 	return o.sched.At(at, name, fn)
 }
 
 // ScheduleNthEdge schedules fn n edges after the first edge at or after now
-// (n=0 means the next edge). Returns nil if the oscillator is off.
-func (o *Oscillator) ScheduleNthEdge(n uint64, name string, fn func()) *sim.Event {
+// (n=0 means the next edge). Returns an invalid (zero) event if the
+// oscillator is off.
+func (o *Oscillator) ScheduleNthEdge(n uint64, name string, fn func()) sim.Event {
 	k, _, ok := o.NextEdge(o.sched.Now())
 	if !ok {
-		return nil
+		return sim.Event{}
 	}
 	return o.sched.At(o.EdgeTime(k+n), name, fn)
 }

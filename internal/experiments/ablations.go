@@ -42,43 +42,49 @@ func AblationMEECache() (*MEECacheAblation, error) {
 	var key [32]byte
 	key[0] = 0x5A
 
-	out := &MEECacheAblation{}
-	for _, lines := range []int{16, 32, 64, 128, 256, 512} {
-		mem := dram.New(dram.Skylake8GB())
-		eng, err := mee.New(mem, 0x1000_0000, dataBlocks, key, lines)
-		if err != nil {
-			return nil, err
-		}
-		eng.ResetStats()
-		if err := eng.WriteRegion(payload); err != nil {
-			return nil, err
-		}
-		if err := eng.Flush(); err != nil {
-			return nil, err
-		}
-		ws := eng.Stats()
-		cold, err := mee.ImportState(mem, eng.ExportState(), lines)
-		if err != nil {
-			return nil, err
-		}
-		if _, err := cold.ReadRegion(len(payload)); err != nil {
-			return nil, err
-		}
-		rs := cold.Stats()
-		hitPct := 0.0
-		if ws.CacheHits+ws.CacheMisses > 0 {
-			hitPct = 100 * float64(ws.CacheHits) / float64(ws.CacheHits+ws.CacheMisses)
-		}
-		out.Rows = append(out.Rows, MEECacheRow{
-			Lines:        lines,
-			SaveBlocks:   ws.TotalBlocks(),
-			RestoreBlcks: rs.TotalBlocks(),
-			SaveLat:      mem.TransferTime(int(ws.TotalBlocks())*mee.BlockSize, true),
-			RestoreLat:   mem.TransferTime(int(rs.TotalBlocks())*mee.BlockSize, false),
-			HitRatePct:   hitPct,
+	sizes := []int{16, 32, 64, 128, 256, 512}
+	rows, err := runIndexed(len(sizes), 0,
+		func(i int) string { return fmt.Sprintf("%d cache lines", sizes[i]) },
+		func(i int) (MEECacheRow, error) {
+			lines := sizes[i]
+			mem := dram.New(dram.Skylake8GB())
+			eng, err := mee.New(mem, 0x1000_0000, dataBlocks, key, lines)
+			if err != nil {
+				return MEECacheRow{}, err
+			}
+			eng.ResetStats()
+			if err := eng.WriteRegion(payload); err != nil {
+				return MEECacheRow{}, err
+			}
+			if err := eng.Flush(); err != nil {
+				return MEECacheRow{}, err
+			}
+			ws := eng.Stats()
+			cold, err := mee.ImportState(mem, eng.ExportState(), lines)
+			if err != nil {
+				return MEECacheRow{}, err
+			}
+			if _, err := cold.ReadRegion(len(payload)); err != nil {
+				return MEECacheRow{}, err
+			}
+			rs := cold.Stats()
+			hitPct := 0.0
+			if ws.CacheHits+ws.CacheMisses > 0 {
+				hitPct = 100 * float64(ws.CacheHits) / float64(ws.CacheHits+ws.CacheMisses)
+			}
+			return MEECacheRow{
+				Lines:        lines,
+				SaveBlocks:   ws.TotalBlocks(),
+				RestoreBlcks: rs.TotalBlocks(),
+				SaveLat:      mem.TransferTime(int(ws.TotalBlocks())*mee.BlockSize, true),
+				RestoreLat:   mem.TransferTime(int(rs.TotalBlocks())*mee.BlockSize, false),
+				HitRatePct:   hitPct,
+			}, nil
 		})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &MEECacheAblation{Rows: rows}, nil
 }
 
 // Table renders the cache ablation.
@@ -116,18 +122,18 @@ type TimerAltAblation struct {
 // 32.768 kHz crystal onto the processor die (alternative 1).
 func AblationTimerAlternatives() (*TimerAltAblation, error) {
 	bud := platform.Skylake()
-	base, err := runConfig(platform.DefaultConfig(), 2)
+	configs := []platform.Config{
+		platform.DefaultConfig(),
+		platform.DefaultConfig().WithTechniques(platform.WakeUpOff),
+		platform.DefaultConfig().WithTechniques(platform.WakeUpOff | platform.AONIOGate),
+	}
+	results, err := runIndexed(len(configs), 0,
+		func(i int) string { return configs[i].Name() },
+		func(i int) (platform.Result, error) { return runConfig(configs[i], 2) })
 	if err != nil {
 		return nil, err
 	}
-	alt2, err := runConfig(platform.DefaultConfig().WithTechniques(platform.WakeUpOff), 2)
-	if err != nil {
-		return nil, err
-	}
-	alt2Gated, err := runConfig(platform.DefaultConfig().WithTechniques(platform.WakeUpOff|platform.AONIOGate), 2)
-	if err != nil {
-		return nil, err
-	}
+	base, alt2, alt2Gated := results[0], results[1], results[2]
 	// Alternative 1, modeled analytically on the same budget: the 24 MHz
 	// crystal still turns off and the timer toggles at 32 kHz on-die
 	// (residual ~0.06 mW nominal), but a new clock input pad plus on-die
@@ -203,8 +209,7 @@ type GateAblation struct {
 // load; an embedded power gate (EPG) is area-efficient but leaks more and
 // needs control pins.
 func AblationIOGate() (*GateAblation, error) {
-	out := &GateAblation{}
-	for _, opt := range []struct {
+	opts := []struct {
 		name string
 		frac float64
 		pins int
@@ -212,25 +217,32 @@ func AblationIOGate() (*GateAblation, error) {
 		{"Board FET (paper's choice)", 0.003, 0},
 		{"Embedded power gate (EPG)", 0.025, 2},
 		{"No gating (baseline AON IOs)", 1.0, 0},
-	} {
-		cfg := platform.ODRIPSConfig()
-		if opt.frac < 1.0 {
-			cfg.FETLeakageFraction = opt.frac
-		} else {
-			cfg.Techniques = platform.WakeUpOff | platform.CtxSGXDRAM // ring stays powered
-		}
-		res, err := runConfig(cfg, 2)
-		if err != nil {
-			return nil, err
-		}
-		out.Rows = append(out.Rows, GateRow{
-			Gate:      opt.name,
-			IdleMW:    res.IdlePowerMW(),
-			LeakPct:   opt.frac * 100,
-			ExtraPins: opt.pins,
-		})
 	}
-	return out, nil
+	rows, err := runIndexed(len(opts), 0,
+		func(i int) string { return opts[i].name },
+		func(i int) (GateRow, error) {
+			opt := opts[i]
+			cfg := platform.ODRIPSConfig()
+			if opt.frac < 1.0 {
+				cfg.FETLeakageFraction = opt.frac
+			} else {
+				cfg.Techniques = platform.WakeUpOff | platform.CtxSGXDRAM // ring stays powered
+			}
+			res, err := runConfig(cfg, 2)
+			if err != nil {
+				return GateRow{}, err
+			}
+			return GateRow{
+				Gate:      opt.name,
+				IdleMW:    res.IdlePowerMW(),
+				LeakPct:   opt.frac * 100,
+				ExtraPins: opt.pins,
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &GateAblation{Rows: rows}, nil
 }
 
 // Table renders the gate comparison.
@@ -259,20 +271,32 @@ type ReinitSensitivity struct {
 	Rows []ReinitRow
 }
 
-// AblationReinitSensitivity runs the sweep.
+// AblationReinitSensitivity runs the sweep; the baseline and all four
+// scale points evaluate in parallel.
 func AblationReinitSensitivity() (*ReinitSensitivity, error) {
-	base, err := runConfig(platform.DefaultConfig(), 2)
+	scales := []float64{0.5, 1.0, 2.0, 4.0}
+	results, err := runIndexed(len(scales)+1, 0,
+		func(i int) string {
+			if i == 0 {
+				return "baseline"
+			}
+			return fmt.Sprintf("reinit x%.1f", scales[i-1])
+		},
+		func(i int) (platform.Result, error) {
+			if i == 0 {
+				return runConfig(platform.DefaultConfig(), 2)
+			}
+			cfg := platform.ODRIPSConfig()
+			cfg.ExitReinitScale = scales[i-1]
+			return runConfig(cfg, 2)
+		})
 	if err != nil {
 		return nil, err
 	}
+	base := results[0]
 	out := &ReinitSensitivity{}
-	for _, scale := range []float64{0.5, 1.0, 2.0, 4.0} {
-		cfg := platform.ODRIPSConfig()
-		cfg.ExitReinitScale = scale
-		res, err := runConfig(cfg, 2)
-		if err != nil {
-			return nil, err
-		}
+	for i, scale := range scales {
+		res := results[i+1]
 		be, err := power.BreakEven(base.CycleEnergy, res.CycleEnergy)
 		if err != nil {
 			return nil, err

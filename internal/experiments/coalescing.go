@@ -32,25 +32,30 @@ type CoalescingResult struct {
 }
 
 // WakeCoalescing sweeps the NIC RX buffer size on the ODRIPS platform with
-// 20 KB/s of background ingress.
+// 20 KB/s of background ingress. The buffer points — plus the LTR gating
+// end of the spectrum, an isochronous consumer whose buffer depth
+// undercuts the C10 exit latency and keeps the platform out of DRIPS no
+// matter what the NIC does — are independent platform runs and evaluate in
+// parallel.
 func WakeCoalescing() (*CoalescingResult, error) {
-	out := &CoalescingResult{}
-	for _, bufKiB := range []int{16, 32, 64, 128, 256} {
-		row, err := coalescingPoint(bufKiB)
-		if err != nil {
-			return nil, err
-		}
-		out.Rows = append(out.Rows, row)
-	}
-	// The LTR gating end of the spectrum: an isochronous consumer whose
-	// buffer depth undercuts the C10 exit latency keeps the platform out
-	// of DRIPS no matter what the NIC does.
-	gated, err := coalescingGatedPoint()
+	sizes := []int{16, 32, 64, 128, 256}
+	rows, err := runIndexed(len(sizes)+1, 0,
+		func(i int) string {
+			if i == len(sizes) {
+				return "LTR-gated audio"
+			}
+			return fmt.Sprintf("%d KiB RX buffer", sizes[i])
+		},
+		func(i int) (CoalescingRow, error) {
+			if i == len(sizes) {
+				return coalescingGatedPoint()
+			}
+			return coalescingPoint(sizes[i])
+		})
 	if err != nil {
 		return nil, err
 	}
-	out.Rows = append(out.Rows, gated)
-	return out, nil
+	return &CoalescingResult{Rows: rows}, nil
 }
 
 func coalescingPoint(bufKiB int) (CoalescingRow, error) {

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the parallel experiment execution engine. Every figure of
+// the paper's evaluation is built from independent platform simulations —
+// each point constructs its own platform.New and scheduler, shares nothing
+// mutable, and is bit-exact deterministic — so points fan out across
+// worker goroutines and results are reassembled in submission order. The
+// determinism guarantee: RunPoints output is byte-identical for any worker
+// count, including 1.
+
+// PointSpec describes one independent simulation point.
+type PointSpec[T any] struct {
+	// Label names the point in error messages ("ODRIPS @ 1.0 GHz",
+	// "residency 6.6ms", ...).
+	Label string
+	// Run evaluates the point. It must not share mutable state with other
+	// points; `go test -race ./...` enforces this across the experiment
+	// suite.
+	Run func() (T, error)
+}
+
+// PointResult is one evaluated point, delivered at its submission index.
+type PointResult[T any] struct {
+	Index int
+	Label string
+	Value T
+	Err   error
+}
+
+// defaultWorkers is the process-wide fan-out for experiments that expose
+// no per-call knob (0 means runtime.GOMAXPROCS(0)); the CLI harnesses set
+// it from their -workers flag.
+var defaultWorkers atomic.Int32
+
+// SetDefaultWorkers sets the package-wide worker-pool size used when a
+// sweep or experiment does not specify its own (n <= 0 restores the
+// GOMAXPROCS default).
+func SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int32(n))
+}
+
+// resolveWorkers maps a knob value to a concrete pool size.
+func resolveWorkers(n int) int {
+	if n <= 0 {
+		n = int(defaultWorkers.Load())
+	}
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// RunPoints evaluates the points on a pool of `workers` goroutines
+// (workers <= 0 uses the package default, normally GOMAXPROCS) and returns
+// the results in submission order, independent of scheduling. The first
+// point error cancels the pool — workers stop claiming new points — and is
+// returned after the in-flight points drain; the lowest-indexed error
+// among the evaluated points is the one reported, so single-failure runs
+// surface the same error at every worker count.
+func RunPoints[T any](points []PointSpec[T], workers int) ([]PointResult[T], error) {
+	results := make([]PointResult[T], len(points))
+	if len(points) == 0 {
+		return results, nil
+	}
+	workers = resolveWorkers(workers)
+	if workers > len(points) {
+		workers = len(points)
+	}
+
+	if workers == 1 {
+		// Sequential fast path: no goroutines, no synchronization.
+		for i, p := range points {
+			v, err := p.Run()
+			results[i] = PointResult[T]{Index: i, Label: p.Label, Value: v, Err: err}
+			if err != nil {
+				break
+			}
+		}
+		return results, firstError(points, results)
+	}
+
+	var (
+		next atomic.Int64
+		stop atomic.Bool
+		wg   sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(points) || stop.Load() {
+					return
+				}
+				v, err := points[i].Run()
+				results[i] = PointResult[T]{Index: i, Label: points[i].Label, Value: v, Err: err}
+				if err != nil {
+					// errgroup-style: poison the pool so idle workers stop
+					// claiming points, then let in-flight ones drain.
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return results, firstError(points, results)
+}
+
+// firstError scans results in index order and wraps the first failure.
+func firstError[T any](points []PointSpec[T], results []PointResult[T]) error {
+	for i := range results {
+		if results[i].Err != nil {
+			if points[i].Label != "" {
+				return fmt.Errorf("point %d (%s): %w", i, points[i].Label, results[i].Err)
+			}
+			return fmt.Errorf("point %d: %w", i, results[i].Err)
+		}
+	}
+	return nil
+}
+
+// runIndexed is a convenience wrapper for the common case of n homogeneous
+// points: it evaluates run(0..n-1) on the pool and returns just the values
+// in index order.
+func runIndexed[T any](n, workers int, label func(int) string, run func(int) (T, error)) ([]T, error) {
+	specs := make([]PointSpec[T], n)
+	for i := range specs {
+		i := i
+		var lbl string
+		if label != nil {
+			lbl = label(i)
+		}
+		specs[i] = PointSpec[T]{Label: lbl, Run: func() (T, error) { return run(i) }}
+	}
+	results, err := RunPoints(specs, workers)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]T, n)
+	for i := range results {
+		out[i] = results[i].Value
+	}
+	return out, nil
+}

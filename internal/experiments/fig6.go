@@ -38,21 +38,27 @@ func fig6aConfigs() []platform.Config {
 	}
 }
 
-// Fig6a measures the five configurations. When sweep.Enabled, break-even
-// points are additionally measured empirically via the residency sweep.
+// Fig6a measures the five configurations, fanning the platform runs across
+// the worker pool. When sweep.Enabled, break-even points are additionally
+// measured empirically via the residency sweep (each sweep parallel over
+// its grid; its baseline half is memoized across rows).
 func Fig6a(sweep SweepOptions) (*Fig6aResult, error) {
+	if err := sweep.Validate(); err != nil {
+		return nil, fmt.Errorf("fig6a: %w", err)
+	}
 	configs := fig6aConfigs()
+	results, err := runIndexed(len(configs), sweep.workers(),
+		func(i int) string { return configs[i].Name() },
+		func(i int) (platform.Result, error) { return runConfig(configs[i], defaultCycles) })
+	if err != nil {
+		return nil, fmt.Errorf("fig6a: %w", err)
+	}
 	out := &Fig6aResult{}
-	var base platform.Result
+	base := results[0]
 	for i, cfg := range configs {
-		res, err := runConfig(cfg, defaultCycles)
-		if err != nil {
-			return nil, fmt.Errorf("fig6a %s: %w", cfg.Name(), err)
-		}
+		res := results[i]
 		row := ConfigResult{Name: cfg.Name(), AvgMW: res.AvgPowerMW, IdleMW: res.IdlePowerMW()}
-		if i == 0 {
-			base = res
-		} else {
+		if i > 0 {
 			row.ReductionPct = 100 * (base.AvgPowerMW - res.AvgPowerMW) / base.AvgPowerMW
 			be, err := power.BreakEven(base.CycleEnergy, res.CycleEnergy)
 			if err != nil {
@@ -108,26 +114,30 @@ type Fig6bResult struct {
 	Rows []ConfigResult // Name carries the frequency label
 }
 
-// Fig6b sweeps the maintenance core frequency (race-to-sleep study, §8.1).
+// Fig6b sweeps the maintenance core frequency (race-to-sleep study, §8.1),
+// with the three frequency points evaluated in parallel.
 func Fig6b() (*Fig6bResult, error) {
+	freqs := []int{800, 1000, 1500}
+	results, err := runIndexed(len(freqs), 0,
+		func(i int) string { return fmt.Sprintf("%d MHz", freqs[i]) },
+		func(i int) (platform.Result, error) {
+			cfg := platform.ODRIPSConfig()
+			cfg.CoreFreqMHz = freqs[i]
+			return runConfig(cfg, defaultCycles)
+		})
+	if err != nil {
+		return nil, fmt.Errorf("fig6b: %w", err)
+	}
 	out := &Fig6bResult{}
-	var base float64
-	for _, mhz := range []int{800, 1000, 1500} {
-		cfg := platform.ODRIPSConfig()
-		cfg.CoreFreqMHz = mhz
-		res, err := runConfig(cfg, defaultCycles)
-		if err != nil {
-			return nil, fmt.Errorf("fig6b %d MHz: %w", mhz, err)
-		}
+	base := results[0].AvgPowerMW
+	for i, mhz := range freqs {
 		row := ConfigResult{
 			Name:   fmt.Sprintf("ODRIPS @ %.1f GHz", float64(mhz)/1000),
-			AvgMW:  res.AvgPowerMW,
-			IdleMW: res.IdlePowerMW(),
+			AvgMW:  results[i].AvgPowerMW,
+			IdleMW: results[i].IdlePowerMW(),
 		}
-		if mhz == 800 {
-			base = res.AvgPowerMW
-		} else {
-			row.ReductionPct = 100 * (base - res.AvgPowerMW) / base
+		if i > 0 {
+			row.ReductionPct = 100 * (base - results[i].AvgPowerMW) / base
 		}
 		out.Rows = append(out.Rows, row)
 	}
@@ -156,29 +166,33 @@ type Fig6cResult struct {
 	CtxSave []sim.Duration // context save latency per rate
 }
 
-// Fig6c sweeps the DRAM transfer rate (§8.2).
+// Fig6c sweeps the DRAM transfer rate (§8.2), with the three rate points
+// evaluated in parallel.
 func Fig6c() (*Fig6cResult, error) {
+	rates := []int{1600, 1067, 800}
+	results, err := runIndexed(len(rates), 0,
+		func(i int) string { return fmt.Sprintf("%d MT/s", rates[i]) },
+		func(i int) (platform.Result, error) {
+			cfg := platform.ODRIPSConfig()
+			cfg.DRAMMTps = rates[i]
+			return runConfig(cfg, defaultCycles)
+		})
+	if err != nil {
+		return nil, fmt.Errorf("fig6c: %w", err)
+	}
 	out := &Fig6cResult{}
-	var base float64
-	for _, mtps := range []int{1600, 1067, 800} {
-		cfg := platform.ODRIPSConfig()
-		cfg.DRAMMTps = mtps
-		res, err := runConfig(cfg, defaultCycles)
-		if err != nil {
-			return nil, fmt.Errorf("fig6c %d MT/s: %w", mtps, err)
-		}
+	base := results[0].AvgPowerMW
+	for i, mtps := range rates {
 		row := ConfigResult{
 			Name:   fmt.Sprintf("ODRIPS, DDR3L-%d", mtps),
-			AvgMW:  res.AvgPowerMW,
-			IdleMW: res.IdlePowerMW(),
+			AvgMW:  results[i].AvgPowerMW,
+			IdleMW: results[i].IdlePowerMW(),
 		}
-		if mtps == 1600 {
-			base = res.AvgPowerMW
-		} else {
-			row.ReductionPct = 100 * (base - res.AvgPowerMW) / base
+		if i > 0 {
+			row.ReductionPct = 100 * (base - results[i].AvgPowerMW) / base
 		}
 		out.Rows = append(out.Rows, row)
-		out.CtxSave = append(out.CtxSave, res.CtxSave)
+		out.CtxSave = append(out.CtxSave, results[i].CtxSave)
 	}
 	return out, nil
 }
@@ -214,17 +228,21 @@ func Fig6d(sweep SweepOptions) (*Fig6dResult, error) {
 	pcm.MainMemory = dram.PCM
 
 	configs := []platform.Config{base, platform.ODRIPSConfig(), mram, pcm}
+	if err := sweep.Validate(); err != nil {
+		return nil, fmt.Errorf("fig6d: %w", err)
+	}
+	results, err := runIndexed(len(configs), sweep.workers(),
+		func(i int) string { return configs[i].Name() },
+		func(i int) (platform.Result, error) { return runConfig(configs[i], defaultCycles) })
+	if err != nil {
+		return nil, fmt.Errorf("fig6d: %w", err)
+	}
 	out := &Fig6dResult{}
-	var baseRes platform.Result
+	baseRes := results[0]
 	for i, cfg := range configs {
-		res, err := runConfig(cfg, defaultCycles)
-		if err != nil {
-			return nil, fmt.Errorf("fig6d %s: %w", cfg.Name(), err)
-		}
+		res := results[i]
 		row := ConfigResult{Name: cfg.Name(), AvgMW: res.AvgPowerMW, IdleMW: res.IdlePowerMW()}
-		if i == 0 {
-			baseRes = res
-		} else {
+		if i > 0 {
 			row.ReductionPct = 100 * (baseRes.AvgPowerMW - res.AvgPowerMW) / baseRes.AvgPowerMW
 			be, err := power.BreakEven(baseRes.CycleEnergy, res.CycleEnergy)
 			if err != nil {

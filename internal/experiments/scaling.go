@@ -33,18 +33,19 @@ type ScalingResult struct {
 	SkylakeExitAvg   sim.Duration
 }
 
-// ProcessScaling runs both generations and builds the projection.
+// ProcessScaling runs both generations (in parallel) and builds the
+// projection.
 func ProcessScaling() (*ScalingResult, error) {
 	hswCfg := platform.DefaultConfig()
 	hswCfg.Generation = platform.GenHaswell
-	hsw, err := runConfig(hswCfg, defaultCycles)
+	configs := []platform.Config{hswCfg, platform.DefaultConfig()}
+	results, err := runIndexed(len(configs), 0,
+		func(i int) string { return configs[i].Name() },
+		func(i int) (platform.Result, error) { return runConfig(configs[i], defaultCycles) })
 	if err != nil {
-		return nil, fmt.Errorf("scaling: haswell: %w", err)
+		return nil, fmt.Errorf("scaling: %w", err)
 	}
-	sky, err := runConfig(platform.DefaultConfig(), defaultCycles)
-	if err != nil {
-		return nil, fmt.Errorf("scaling: skylake: %w", err)
-	}
+	hsw, sky := results[0], results[1]
 
 	idleMW := func(res platform.Result, name string) float64 {
 		sec := res.Residency[power.Idle] * res.Duration.Seconds()

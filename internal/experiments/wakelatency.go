@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"sort"
 
 	"odrips/internal/platform"
@@ -60,22 +61,32 @@ func WakeLatency() (*WakeLatencyResult, error) {
 // wakeLatencyDistribution runs one external wake per fresh platform, with
 // a prime-stepped idle duration so the hand-over edges sample all phases
 // of the 32.768 kHz clock. A fresh platform per sample keeps each ExitAvg
-// a single-wake measurement rather than a running mean.
+// a single-wake measurement rather than a running mean — and makes the
+// samples independent points that fan out across the worker pool.
 func wakeLatencyDistribution(cfg platform.Config) (entries, exits []sim.Duration, err error) {
-	for i := 0; i < wakeLatencySamples; i++ {
-		p, err := platform.New(cfg)
-		if err != nil {
-			return nil, nil, err
-		}
-		idle := 200*sim.Millisecond + sim.Duration(i)*7_919*sim.Microsecond
-		res, err := p.RunCycles([]workload.Cycle{
-			{Active: 2*sim.Millisecond + sim.Duration(i)*101*sim.Microsecond, Idle: idle, Wake: workload.WakeExternal},
+	type sample struct{ entry, exit sim.Duration }
+	samples, err := runIndexed(wakeLatencySamples, 0,
+		func(i int) string { return fmt.Sprintf("wake sample %d", i) },
+		func(i int) (sample, error) {
+			p, err := platform.New(cfg)
+			if err != nil {
+				return sample{}, err
+			}
+			idle := 200*sim.Millisecond + sim.Duration(i)*7_919*sim.Microsecond
+			res, err := p.RunCycles([]workload.Cycle{
+				{Active: 2*sim.Millisecond + sim.Duration(i)*101*sim.Microsecond, Idle: idle, Wake: workload.WakeExternal},
+			})
+			if err != nil {
+				return sample{}, err
+			}
+			return sample{entry: res.EntryAvg, exit: res.ExitAvg}, nil
 		})
-		if err != nil {
-			return nil, nil, err
-		}
-		entries = append(entries, res.EntryAvg)
-		exits = append(exits, res.ExitAvg)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, s := range samples {
+		entries = append(entries, s.entry)
+		exits = append(exits, s.exit)
 	}
 	return entries, exits, nil
 }

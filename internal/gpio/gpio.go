@@ -38,7 +38,7 @@ type Pin struct {
 	pending     bool // externally driven level awaiting a sampling edge
 	havePending bool
 	sampler     *clock.Oscillator
-	sampleEvent *sim.Event
+	sampleEvent sim.Event
 	sched       *sim.Scheduler
 	onEdge      func(rising bool, at sim.Time)
 
@@ -111,10 +111,8 @@ func (p *Pin) WatchInput(sampler *clock.Oscillator, fn func(rising bool, at sim.
 func (p *Pin) Unwatch() {
 	p.sampler = nil
 	p.onEdge = nil
-	if p.sampleEvent != nil {
-		p.sched.Cancel(p.sampleEvent)
-		p.sampleEvent = nil
-	}
+	p.sched.Cancel(p.sampleEvent)
+	p.sampleEvent = sim.Event{}
 }
 
 // Drive sets the externally-driven level of an input pin (e.g. the EC
@@ -133,14 +131,14 @@ func (p *Pin) Drive(level bool) error {
 }
 
 func (p *Pin) scheduleSample() {
-	if p.sampleEvent != nil && p.sampleEvent.Pending() {
+	if p.sampleEvent.Pending() {
 		return // an evaluation is already queued at the next edge
 	}
 	p.sampleEvent = p.sampler.ScheduleEdge("gpio.sample."+p.name, p.sample)
 }
 
 func (p *Pin) sample() {
-	p.sampleEvent = nil
+	p.sampleEvent = sim.Event{}
 	if !p.havePending {
 		return
 	}

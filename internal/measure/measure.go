@@ -93,7 +93,7 @@ func (a *Analyzer) Start() error {
 // under a scheduler loop that drains the event queue (platform.RunCycles):
 // without a scheduled stop, the sampling ticker re-arms forever and the
 // run never terminates.
-func (a *Analyzer) StopAt(t sim.Time) *sim.Event {
+func (a *Analyzer) StopAt(t sim.Time) sim.Event {
 	return a.sched.At(t, "analyzer.stop", a.Stop)
 }
 

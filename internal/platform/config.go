@@ -107,6 +107,13 @@ type Config struct {
 	TDPWatts float64
 }
 
+// Config must stay a pure value type: the experiment engine memoizes sweep
+// points in maps keyed on (Config, residency, cycles), and worker-pool
+// determinism relies on Config copies sharing no mutable state. This
+// declaration fails to compile if a non-comparable field (slice, map,
+// func) is ever added.
+var _ map[Config]struct{}
+
 // DefaultConfig returns the paper's baseline platform (Table 1).
 func DefaultConfig() Config {
 	return Config{

@@ -370,10 +370,8 @@ func (p *Platform) onWake(src chipset.WakeSource, _ sim.Time) {
 		return
 	}
 	p.wakeCount[src]++
-	if p.armedEv != nil {
-		p.sched.Cancel(p.armedEv)
-		p.armedEv = nil
-	}
+	p.sched.Cancel(p.armedEv)
+	p.armedEv = sim.Event{}
 	p.state = power.Exit
 	p.tracker.to(power.Exit)
 	p.applyPhase(phTrailer)

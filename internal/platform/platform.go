@@ -99,7 +99,7 @@ type Platform struct {
 	cycleDone     func()
 	idleFor       sim.Duration
 	plan          wakePlan
-	armedEv       *sim.Event
+	armedEv       sim.Event
 	restoredTimer uint64
 	p2cContinue   func()
 	c2pContinue   func()

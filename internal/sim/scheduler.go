@@ -1,78 +1,103 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
-// Event is a scheduled callback. Events are one-shot: once fired or
-// cancelled they are inert. The zero value is not usable; obtain events from
-// Scheduler.At or Scheduler.After.
+// Event is a handle to a scheduled callback. Events are one-shot: once
+// fired or cancelled the handle goes stale and every method degrades to an
+// inert answer (Pending reports false, Cancel is a no-op). The zero value
+// is a valid stale handle. Obtain live handles from Scheduler.At or
+// Scheduler.After.
+//
+// Internally the scheduler recycles event storage through a free list; a
+// generation counter in the handle detects reuse, so holding a handle past
+// its firing is always safe and never observes the recycled slot.
 type Event struct {
-	when   Time
-	seq    uint64 // tie-break: FIFO among equal timestamps
-	index  int    // heap index, -1 when not queued
-	fn     func()
-	name   string
-	fired  bool
-	cancel bool
+	s    *Scheduler
+	slot int32
+	gen  uint32
 }
 
-// When returns the instant the event is (or was) scheduled for.
-func (e *Event) When() Time { return e.when }
+// Valid reports whether the handle was ever issued by a scheduler (the
+// zero value is not). A valid handle may still be stale; see Pending.
+func (e Event) Valid() bool { return e.s != nil }
 
-// Name returns the debugging label given at scheduling time.
-func (e *Event) Name() string { return e.name }
+// live returns the backing slot while the event is still queued.
+func (e Event) live() (*eventSlot, bool) {
+	if e.s == nil || int(e.slot) >= len(e.s.slots) {
+		return nil, false
+	}
+	sl := &e.s.slots[e.slot]
+	if sl.gen != e.gen {
+		return nil, false
+	}
+	return sl, true
+}
 
 // Pending reports whether the event is still queued.
-func (e *Event) Pending() bool { return e.index >= 0 && !e.cancel }
+func (e Event) Pending() bool { _, ok := e.live(); return ok }
 
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].when != q[j].when {
-		return q[i].when < q[j].when
+// When returns the instant the event is scheduled for, or zero once the
+// event has fired or been cancelled.
+func (e Event) When() Time {
+	if sl, ok := e.live(); ok {
+		return sl.when
 	}
-	return q[i].seq < q[j].seq
+	return 0
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+// Name returns the debugging label given at scheduling time, or "" once
+// the event has fired or been cancelled.
+func (e Event) Name() string {
+	if sl, ok := e.live(); ok {
+		return sl.name
+	}
+	return ""
 }
 
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
+// eventSlot is the recycled backing store of one scheduled event. Slots
+// live in a slab indexed by Event.slot; gen increments on every free so
+// stale handles miscompare and read as inert.
+type eventSlot struct {
+	fn       func()
+	name     string
+	when     Time
+	seq      uint64
+	gen      uint32
+	heapIdx  int32 // position in Scheduler.heap, -1 when not queued
+	nextFree int32 // free-list link, meaningful only while free
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+// heapEntry is one element of the inlined 4-ary min-heap. The ordering key
+// (when, seq) is duplicated here so sifting compares without touching the
+// slot slab, and the entry carries its slot index for dispatch.
+type heapEntry struct {
+	when Time
+	seq  uint64
+	slot int32
+}
+
+func entryLess(a, b heapEntry) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
 }
 
 // Scheduler is a deterministic discrete-event scheduler. It is not safe for
 // concurrent use; the whole platform model is single-threaded by design so
-// that every run is exactly reproducible.
+// that every run is exactly reproducible. (Parallel experiments run one
+// Scheduler per goroutine — see internal/experiments.RunPoints.)
 type Scheduler struct {
-	now     Time
-	queue   eventQueue
-	seq     uint64
-	fired   uint64
-	running bool
+	now      Time
+	heap     []heapEntry
+	slots    []eventSlot
+	freeHead int32
+	seq      uint64
+	fired    uint64
 }
 
 // NewScheduler returns a scheduler positioned at the epoch.
-func NewScheduler() *Scheduler { return &Scheduler{} }
+func NewScheduler() *Scheduler { return &Scheduler{freeHead: -1} }
 
 // Now returns the current simulated instant.
 func (s *Scheduler) Now() Time { return s.now }
@@ -81,77 +106,105 @@ func (s *Scheduler) Now() Time { return s.now }
 func (s *Scheduler) Fired() uint64 { return s.fired }
 
 // Pending returns the number of queued events.
-func (s *Scheduler) Pending() int { return len(s.queue) }
+func (s *Scheduler) Pending() int { return len(s.heap) }
+
+func (s *Scheduler) allocSlot() int32 {
+	if s.freeHead >= 0 {
+		i := s.freeHead
+		s.freeHead = s.slots[i].nextFree
+		return i
+	}
+	s.slots = append(s.slots, eventSlot{heapIdx: -1})
+	return int32(len(s.slots) - 1)
+}
+
+func (s *Scheduler) freeSlot(i int32) {
+	sl := &s.slots[i]
+	sl.fn = nil
+	sl.name = ""
+	sl.gen++
+	sl.heapIdx = -1
+	sl.nextFree = s.freeHead
+	s.freeHead = i
+}
 
 // At schedules fn to run at instant t. Scheduling in the past panics: the
 // model has a bug if it ever asks for that. Events at the current instant
 // are legal and run after the currently-executing event returns.
-func (s *Scheduler) At(t Time, name string, fn func()) *Event {
+func (s *Scheduler) At(t Time, name string, fn func()) Event {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling %q at %v, before now %v", name, t, s.now))
 	}
-	e := &Event{when: t, seq: s.seq, fn: fn, name: name, index: -1}
+	i := s.allocSlot()
+	sl := &s.slots[i]
+	sl.when = t
+	sl.seq = s.seq
+	sl.fn = fn
+	sl.name = name
 	s.seq++
-	heap.Push(&s.queue, e)
-	return e
+	s.heapPush(heapEntry{when: t, seq: sl.seq, slot: i})
+	return Event{s: s, slot: i, gen: sl.gen}
 }
 
 // After schedules fn to run d after the current instant.
-func (s *Scheduler) After(d Duration, name string, fn func()) *Event {
+func (s *Scheduler) After(d Duration, name string, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: scheduling %q with negative delay %v", name, d))
 	}
 	return s.At(s.now.Add(d), name, fn)
 }
 
-// Cancel removes a pending event. Cancelling a fired or already-cancelled
-// event is a no-op, so callers can cancel unconditionally.
-func (s *Scheduler) Cancel(e *Event) {
-	if e == nil || e.fired || e.cancel {
+// Cancel removes a pending event and recycles its slot immediately — there
+// is no tombstone state, so the queue never holds cancelled entries and
+// every drain path (Step, Run, RunUntil) dispatches from the same code.
+// Cancelling a fired, already-cancelled, or zero-value event is a no-op,
+// so callers can cancel unconditionally.
+func (s *Scheduler) Cancel(e Event) {
+	if e.s != s {
 		return
 	}
-	e.cancel = true
-	if e.index >= 0 {
-		heap.Remove(&s.queue, e.index)
+	sl, ok := e.live()
+	if !ok {
+		return
 	}
+	s.heapRemove(int(sl.heapIdx))
+	s.freeSlot(e.slot)
+}
+
+// dispatch pops the earliest entry, frees its slot, and runs the callback.
+// The slot is recycled before fn runs; the generation bump keeps any handle
+// the callback still holds safely stale.
+func (s *Scheduler) dispatch() {
+	ent := s.heapRemove(0)
+	fn := s.slots[ent.slot].fn
+	s.now = ent.when
+	s.freeSlot(ent.slot)
+	s.fired++
+	fn()
 }
 
 // Step dispatches the single earliest pending event and returns true, or
 // returns false if the queue is empty.
 func (s *Scheduler) Step() bool {
-	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*Event)
-		if e.cancel {
-			continue
-		}
-		s.now = e.when
-		e.fired = true
-		s.fired++
-		e.fn()
-		return true
+	if len(s.heap) == 0 {
+		return false
 	}
-	return false
+	s.dispatch()
+	return true
 }
 
 // Run dispatches events until the queue drains.
 func (s *Scheduler) Run() {
-	for s.Step() {
+	for len(s.heap) > 0 {
+		s.dispatch()
 	}
 }
 
 // RunUntil dispatches events with timestamps <= deadline, then advances the
 // clock to the deadline. Events scheduled beyond the deadline stay queued.
 func (s *Scheduler) RunUntil(deadline Time) {
-	for len(s.queue) > 0 {
-		e := s.queue[0]
-		if e.cancel {
-			heap.Pop(&s.queue)
-			continue
-		}
-		if e.when > deadline {
-			break
-		}
-		s.Step()
+	for len(s.heap) > 0 && s.heap[0].when <= deadline {
+		s.dispatch()
 	}
 	if s.now < deadline {
 		s.now = deadline
@@ -160,6 +213,74 @@ func (s *Scheduler) RunUntil(deadline Time) {
 
 // RunFor advances the simulation by d.
 func (s *Scheduler) RunFor(d Duration) { s.RunUntil(s.now.Add(d)) }
+
+// setEntry stores e at heap position i and keeps the slot back-reference
+// coherent for O(log n) Cancel.
+func (s *Scheduler) setEntry(i int, e heapEntry) {
+	s.heap[i] = e
+	s.slots[e.slot].heapIdx = int32(i)
+}
+
+func (s *Scheduler) heapPush(e heapEntry) {
+	s.heap = append(s.heap, e)
+	s.siftUp(len(s.heap)-1, e)
+}
+
+func (s *Scheduler) siftUp(i int, e heapEntry) {
+	for i > 0 {
+		p := (i - 1) / 4
+		pe := s.heap[p]
+		if !entryLess(e, pe) {
+			break
+		}
+		s.setEntry(i, pe)
+		i = p
+	}
+	s.setEntry(i, e)
+}
+
+func (s *Scheduler) siftDown(i int, e heapEntry) {
+	n := len(s.heap)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		m, me := first, s.heap[first]
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if entryLess(s.heap[c], me) {
+				m, me = c, s.heap[c]
+			}
+		}
+		if !entryLess(me, e) {
+			break
+		}
+		s.setEntry(i, me)
+		i = m
+	}
+	s.setEntry(i, e)
+}
+
+// heapRemove deletes and returns the entry at position i.
+func (s *Scheduler) heapRemove(i int) heapEntry {
+	removed := s.heap[i]
+	n := len(s.heap) - 1
+	last := s.heap[n]
+	s.heap[n] = heapEntry{}
+	s.heap = s.heap[:n]
+	if i < n {
+		if i > 0 && entryLess(last, s.heap[(i-1)/4]) {
+			s.siftUp(i, last)
+		} else {
+			s.siftDown(i, last)
+		}
+	}
+	return removed
+}
 
 // Every schedules fn at t0, t0+period, t0+2*period, ... until the returned
 // Ticker is stopped. fn receives the tick instant.
@@ -178,7 +299,7 @@ type Ticker struct {
 	period  Duration
 	name    string
 	fn      func(Time)
-	ev      *Event
+	ev      Event
 	stopped bool
 }
 

@@ -109,7 +109,7 @@ func TestSchedulerCancel(t *testing.T) {
 func TestSchedulerCancelFromCallback(t *testing.T) {
 	s := NewScheduler()
 	ran := false
-	var e2 *Event
+	var e2 Event
 	s.After(Nanosecond, "first", func() { s.Cancel(e2) })
 	e2 = s.After(2*Nanosecond, "second", func() { ran = true })
 	s.Run()
@@ -271,7 +271,7 @@ func TestSchedulerCancelProperty(t *testing.T) {
 	for trial := 0; trial < 50; trial++ {
 		s := NewScheduler()
 		const n = 100
-		events := make([]*Event, n)
+		events := make([]Event, n)
 		firedCount := 0
 		for i := range events {
 			events[i] = s.At(Time(rng.Intn(1000))*Time(Nanosecond), "p", func() { firedCount++ })
@@ -290,11 +290,80 @@ func TestSchedulerCancelProperty(t *testing.T) {
 	}
 }
 
+// Regression: a cancelled event sitting at the head of the queue with a
+// timestamp exactly at the RunUntil deadline must not fire, must not stall
+// the drain, and must still advance the clock to the deadline. (The old
+// implementation kept cancelled tombstones in the queue and had two
+// different skip loops — Step's and RunUntil's — to drain them; Cancel now
+// removes the entry eagerly so every drain path is the same code.)
+func TestRunUntilCancelledHeadAtDeadline(t *testing.T) {
+	s := NewScheduler()
+	ran := false
+	later := false
+	head := s.At(Time(Millisecond), "head", func() { ran = true })
+	s.At(Time(2*Millisecond), "later", func() { later = true })
+	s.Cancel(head)
+	s.RunUntil(Time(Millisecond))
+	if ran {
+		t.Fatal("cancelled head event fired")
+	}
+	if later {
+		t.Fatal("event beyond the deadline fired")
+	}
+	if s.Now() != Time(Millisecond) {
+		t.Fatalf("Now = %v, want the 1ms deadline", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1 (cancelled entries must leave the queue)", s.Pending())
+	}
+	s.Run()
+	if !later {
+		t.Fatal("surviving event lost")
+	}
+}
+
+// Stale handles must stay inert after their slot is recycled: cancelling a
+// fired event whose slot now hosts a different live event must not disturb
+// the new occupant.
+func TestStaleHandleAfterRecycle(t *testing.T) {
+	s := NewScheduler()
+	old := s.After(Nanosecond, "old", func() {})
+	s.Step() // fires and recycles old's slot
+	if old.Pending() {
+		t.Fatal("fired event still pending")
+	}
+	ran := false
+	fresh := s.After(Nanosecond, "fresh", func() { ran = true })
+	s.Cancel(old) // stale: must not cancel the recycled slot's new event
+	if !fresh.Pending() {
+		t.Fatal("stale Cancel removed the slot's new occupant")
+	}
+	s.Run()
+	if !ran {
+		t.Fatal("recycled event did not fire")
+	}
+	if old.When() != 0 || old.Name() != "" {
+		t.Fatalf("stale handle leaks recycled state: when=%v name=%q", old.When(), old.Name())
+	}
+}
+
+// The zero-value Event is a valid stale handle everywhere.
+func TestZeroEventInert(t *testing.T) {
+	s := NewScheduler()
+	var e Event
+	if e.Valid() || e.Pending() {
+		t.Fatal("zero event claims validity")
+	}
+	s.Cancel(e) // must not panic
+}
+
 func BenchmarkSchedulerChurn(b *testing.B) {
 	s := NewScheduler()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
+		victim := s.After(2*Nanosecond, "bench-cancel", func() {})
 		s.After(Nanosecond, "bench", func() {})
+		s.Cancel(victim)
 		s.Step()
 	}
 }

@@ -107,7 +107,7 @@ func (u *Unit) EnterSlow(value uint64, done func(at sim.Time)) error {
 			done(u.sched.Now())
 		}
 	})
-	if ev == nil {
+	if !ev.Valid() {
 		u.mode = ModeFast
 		u.switchFlag = false
 		return fmt.Errorf("timer: 32 kHz oscillator not running")
@@ -156,7 +156,7 @@ func (u *Unit) exitAttempt(done func(uint64, sim.Time)) {
 			done(v, u.sched.Now())
 		}
 	})
-	if ev == nil {
+	if !ev.Valid() {
 		panic("timer: 32 kHz oscillator stopped mid-protocol")
 	}
 }
@@ -175,7 +175,7 @@ func (u *Unit) Now() uint64 {
 // WakeAt schedules fn at the first instant the timekeeping value reaches
 // target. It must be called in a stable mode (fast or slow); hand-overs
 // re-arm wakes themselves.
-func (u *Unit) WakeAt(target uint64, name string, fn func()) (*sim.Event, error) {
+func (u *Unit) WakeAt(target uint64, name string, fn func()) (sim.Event, error) {
 	var at sim.Time
 	var ok bool
 	switch u.mode {
@@ -184,10 +184,10 @@ func (u *Unit) WakeAt(target uint64, name string, fn func()) (*sim.Event, error)
 	case ModeSlow:
 		at, ok = u.Slow.TimeOfValue(target)
 	default:
-		return nil, fmt.Errorf("timer: WakeAt during hand-over (%s)", u.mode)
+		return sim.Event{}, fmt.Errorf("timer: WakeAt during hand-over (%s)", u.mode)
 	}
 	if !ok {
-		return nil, fmt.Errorf("timer: WakeAt(%d) unreachable in mode %s", target, u.mode)
+		return sim.Event{}, fmt.Errorf("timer: WakeAt(%d) unreachable in mode %s", target, u.mode)
 	}
 	return u.sched.At(at, name, fn), nil
 }
