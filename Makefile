@@ -2,7 +2,7 @@ GO      ?= go
 PKGS    := ./...
 STAMP   := $(shell date -u +%Y%m%dT%H%M%SZ)
 
-.PHONY: all build test vet race verify bench bench-sweep clean
+.PHONY: all build test vet lint race verify bench bench-sweep clean
 
 all: build test
 
@@ -15,21 +15,31 @@ test:
 vet:
 	$(GO) vet $(PKGS)
 
+# The repo-specific determinism/units lint suite (internal/analysis): seeded
+# randomness only, fixed-point Float() confined to diagnostics, no
+# order-sensitive map iteration, no lock copies or stale sim.Event caches.
+lint:
+	$(GO) run ./cmd/odrips-vet $(PKGS)
+
 race:
 	$(GO) test -race $(PKGS)
 
-# The CI verify tier: static analysis plus the full suite under the race
-# detector (the parallel sweep engine is exercised by every experiment test).
-verify: vet race
+# The CI verify tier: build, go vet, odrips-vet, then the full suite under
+# the race detector (the parallel sweep engine is exercised by every
+# experiment test). Mirrored by .github/workflows/ci.yml.
+verify: build vet lint race
 
 # Record the full benchmark suite (with allocation stats) to a timestamped
-# JSON artifact for before/after comparison.
+# JSON artifact for before/after comparison. Written to a temp file and
+# renamed on success, so a failed run cannot leave a half-written artifact.
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem -json $(PKGS) | tee BENCH_$(STAMP).json
+	$(GO) test -run '^$$' -bench . -benchmem -json $(PKGS) > BENCH_$(STAMP).json.tmp || { rm -f BENCH_$(STAMP).json.tmp; exit 1; }
+	mv BENCH_$(STAMP).json.tmp BENCH_$(STAMP).json
+	@echo wrote BENCH_$(STAMP).json
 
 # Just the heavyweight sweep benchmark, one iteration.
 bench-sweep:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig6aSweep|BenchmarkSchedulerChurn' -benchmem -benchtime 1x .
 
 clean:
-	rm -f BENCH_*.json
+	rm -f BENCH_*.json BENCH_*.json.tmp

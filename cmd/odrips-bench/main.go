@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"odrips"
@@ -236,7 +237,14 @@ func main() {
 	for _, e := range experiments {
 		known[e.name] = true
 	}
+	// Sorted so the experiment reported on a multi-typo invocation is the
+	// same every run (map iteration order is randomized).
+	requested := make([]string, 0, len(want))
 	for name := range want {
+		requested = append(requested, name)
+	}
+	sort.Strings(requested)
+	for _, name := range requested {
 		if !known[name] {
 			fmt.Fprintf(os.Stderr, "odrips-bench: unknown experiment %q\n", name)
 			os.Exit(2)

@@ -1,0 +1,66 @@
+// Command odrips-vet runs the repository's determinism/units lint suite
+// (internal/analysis) and reports findings as
+//
+//	file:line: [rule] message
+//
+// exiting 1 when any finding survives, 2 when the tree cannot be loaded.
+// It is stdlib-only by design — `make lint` must work on a bare toolchain —
+// and is wired into `make verify` and CI.
+//
+// Usage:
+//
+//	odrips-vet [-list] [packages]
+//
+// where packages are directories or /... subtree patterns relative to the
+// module root (default ./...).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"odrips/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the lint rules and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: odrips-vet [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := analysis.Run(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "odrips-vet: %v\n", err)
+		os.Exit(2)
+	}
+	cwd, _ := os.Getwd()
+	for _, f := range findings {
+		// Relative paths keep output stable across checkouts and clickable
+		// in editors.
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil {
+				f.Pos.Filename = rel
+			}
+		}
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "odrips-vet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

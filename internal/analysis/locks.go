@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// locksAnalyzer owns two rules.
+//
+// mutexcopy: copying a struct that embeds a sync.Mutex/WaitGroup/... forks
+// its lock state; the copy guards nothing. Flagged at value receivers,
+// by-value parameters and results, copy assignments from existing values,
+// and range clauses that copy lock-bearing elements.
+//
+// handle: sim.Event handles are generation-counted tickets into the
+// scheduler's recycled slot slab. Stashing them in a map or slice that
+// outlives Cancel/fire is exactly the stale-handle class PR 1 added
+// regression tests for — the collection keeps "valid-looking" handles whose
+// slots have been reissued. Hold the single live handle (like sim.Ticker
+// does) or re-derive; never build collections of them.
+var locksAnalyzer = &Analyzer{
+	Name: "mutexcopy",
+	Doc:  "flag by-value copies of lock-bearing structs and collections of sim.Event handles",
+	Run:  runLocks,
+}
+
+func runLocks(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFuncSig(pass, n.Recv, n.Type)
+			case *ast.FuncLit:
+				checkFuncSig(pass, nil, n.Type)
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					// A blank-identifier assignment discards the value;
+					// nothing observable is copied.
+					if len(n.Lhs) == len(n.Rhs) && isBlank(n.Lhs[i]) {
+						continue
+					}
+					checkCopyExpr(pass, rhs)
+				}
+			case *ast.ValueSpec:
+				for i, v := range n.Values {
+					if len(n.Names) == len(n.Values) && n.Names[i].Name == "_" {
+						continue
+					}
+					checkCopyExpr(pass, v)
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if t := pass.Info.TypeOf(n.Value); t != nil {
+						if name := lockIn(t); name != "" {
+							pass.Reportf(n.Value.Pos(),
+								"range clause copies %s (contains sync.%s) by value; iterate by index or use pointers", t, name)
+						}
+					}
+				}
+			}
+			checkHandleDef(pass, n)
+			return true
+		})
+	}
+}
+
+// checkFuncSig flags lock-bearing by-value receivers, params, and results.
+func checkFuncSig(pass *Pass, recv *ast.FieldList, ft *ast.FuncType) {
+	check := func(fl *ast.FieldList, kind string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pass.Info.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if name := lockIn(t); name != "" {
+				pass.Reportf(field.Type.Pos(),
+					"%s passes %s (contains sync.%s) by value; use a pointer", kind, t, name)
+			}
+		}
+	}
+	check(recv, "receiver")
+	check(ft.Params, "parameter")
+	check(ft.Results, "result")
+}
+
+// checkCopyExpr flags assignments whose right-hand side copies an existing
+// lock-bearing value. Fresh values (composite literals, function calls,
+// new/make) initialize rather than copy and stay allowed.
+func checkCopyExpr(pass *Pass, rhs ast.Expr) {
+	switch rhs.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr, *ast.ParenExpr:
+	default:
+		return
+	}
+	t := pass.Info.TypeOf(rhs)
+	if t == nil {
+		return
+	}
+	if name := lockIn(t); name != "" {
+		pass.Reportf(rhs.Pos(),
+			"assignment copies %s (contains sync.%s) by value; use a pointer", t, name)
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// lockIn returns the sync type name embedded (recursively, by value) in t,
+// or "" if t is safely copyable.
+func lockIn(t types.Type) string {
+	return lockIn1(t, map[types.Type]bool{})
+}
+
+var syncLockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Map": true, "Pool": true,
+}
+
+func lockIn1(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	switch t := t.(type) {
+	case *types.Named:
+		obj := t.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncLockTypes[obj.Name()] {
+			return obj.Name()
+		}
+		return lockIn1(t.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if name := lockIn1(t.Field(i).Type(), seen); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return lockIn1(t.Elem(), seen)
+	}
+	return ""
+}
+
+// checkHandleDef reports variables and struct fields whose type is a map,
+// slice, or array of sim.Event (or *sim.Event).
+func checkHandleDef(pass *Pass, n ast.Node) {
+	var idents []*ast.Ident
+	switch n := n.(type) {
+	case *ast.ValueSpec:
+		idents = n.Names
+	case *ast.Field:
+		idents = n.Names
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				idents = append(idents, id)
+			}
+		}
+	default:
+		return
+	}
+	for _, id := range idents {
+		obj, ok := pass.Info.Defs[id]
+		if !ok || obj == nil {
+			continue
+		}
+		if coll := eventCollection(obj.Type()); coll != "" {
+			pass.ReportRulef("handle", id.Pos(),
+				"%s stores sim.Event handles in a %s; handles outliving Cancel/fire go stale — keep the single live handle (like sim.Ticker) or re-derive it",
+				id.Name, coll)
+		}
+	}
+}
+
+// eventCollection classifies map/slice/array types whose elements are
+// sim.Event handles.
+func eventCollection(t types.Type) string {
+	switch t := t.Underlying().(type) {
+	case *types.Map:
+		if isSimEvent(t.Elem()) {
+			return "map"
+		}
+	case *types.Slice:
+		if isSimEvent(t.Elem()) {
+			return "slice"
+		}
+	case *types.Array:
+		if isSimEvent(t.Elem()) {
+			return "array"
+		}
+	}
+	return ""
+}
+
+func isSimEvent(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return recvNamed(t, "odrips/internal/sim", "Event")
+}

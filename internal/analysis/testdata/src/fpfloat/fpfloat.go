@@ -1,0 +1,31 @@
+// Package fpfloat is an odrips-vet test fixture: fixedpoint Float() flowing
+// outside the diagnostics contexts.
+package fpfloat
+
+import (
+	"fmt"
+
+	"odrips/internal/fixedpoint"
+)
+
+// Bad lets float renderings of exact fixed-point values escape into state.
+func Bad(q fixedpoint.Q, a *fixedpoint.Acc) float64 {
+	x := q.Float()       // want fpfloat
+	return x + a.Float() // want fpfloat
+}
+
+// Good stays in integer space.
+func Good(q fixedpoint.Q) uint64 {
+	return q.Integer() + q.Frac()
+}
+
+// Formatted uses the blessed fmt call-site path.
+func Formatted(q fixedpoint.Q, a *fixedpoint.Acc) string {
+	fmt.Printf("step=%.9f\n", q.Float())
+	return fmt.Sprintf("acc=%f", a.Float())
+}
+
+// Allowed shows the audited escape hatch.
+func Allowed(q fixedpoint.Q) float64 {
+	return q.Float() //odrips:allow fpfloat fixture exercises the allow path
+}

@@ -1,0 +1,37 @@
+// Package handle is an odrips-vet test fixture: collections of sim.Event
+// handles that outlive Cancel.
+package handle
+
+import "odrips/internal/sim"
+
+// BadQueue stashes handles where they will go stale.
+type BadQueue struct {
+	pending []sim.Event       // want handle
+	byID    map[int]sim.Event // want handle
+}
+
+// GoodTicker holds the single live handle, the sim.Ticker pattern.
+type GoodTicker struct {
+	ev sim.Event
+}
+
+// BadLocal builds a local collection of handles.
+func BadLocal(s *sim.Scheduler) {
+	handles := make([]sim.Event, 0, 4) // want handle
+	for i := 1; i <= 4; i++ {
+		handles = append(handles, s.After(sim.Duration(i), "fixture", func() {}))
+	}
+	_ = handles
+}
+
+// GoodSingle re-arms one handle in place.
+func GoodSingle(s *sim.Scheduler) sim.Event {
+	ev := s.After(1, "fixture", func() {})
+	return ev
+}
+
+// Allowed shows the audited escape hatch.
+func Allowed() {
+	var cache map[string]sim.Event //odrips:allow handle fixture exercises the allow path
+	_ = cache
+}

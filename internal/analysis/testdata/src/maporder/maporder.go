@@ -1,0 +1,80 @@
+// Package maporder is an odrips-vet test fixture: order-sensitive effects
+// inside range-over-map loops.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+
+	"odrips/internal/sim"
+)
+
+// BadAppend collects keys in randomized iteration order.
+func BadAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want maporder
+	}
+	return out
+}
+
+// GoodSorted is the collect-then-sort idiom; the append is fine because the
+// slice is sorted before anyone observes its order.
+func GoodSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// BadSend delivers map values in randomized order.
+func BadSend(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want maporder
+	}
+}
+
+// BadPrint writes output in randomized order.
+func BadPrint(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want maporder
+	}
+}
+
+// BadSchedule hands the scheduler events in randomized order, so tie-broken
+// sequence numbers differ run to run.
+func BadSchedule(s *sim.Scheduler, m map[string]sim.Duration) {
+	for name, d := range m {
+		_ = name
+		s.After(d, "fixture", func() {}) // want maporder
+	}
+}
+
+// GoodKeyed writes into another map: keyed, order-insensitive.
+func GoodKeyed(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// GoodSum folds with a commutative integer op.
+func GoodSum(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// Allowed shows the audited escape hatch.
+func Allowed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) //odrips:allow maporder fixture exercises the allow path
+	}
+	return out
+}

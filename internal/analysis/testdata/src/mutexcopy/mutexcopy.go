@@ -1,0 +1,59 @@
+// Package mutexcopy is an odrips-vet test fixture: by-value copies of
+// lock-bearing structs.
+package mutexcopy
+
+import "sync"
+
+// Guarded embeds a mutex by value.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Nested embeds Guarded, so it is lock-bearing transitively.
+type Nested struct {
+	g Guarded
+}
+
+// BadParam receives the lock by value.
+func BadParam(g Guarded) int { // want mutexcopy
+	return g.n
+}
+
+// BadReceiver copies the lock on every call.
+func (g Guarded) BadReceiver() int { // want mutexcopy
+	return g.n
+}
+
+// BadCopy forks the lock state.
+func BadCopy(g *Guarded) {
+	cp := *g // want mutexcopy
+	_ = cp
+}
+
+// BadRange copies each element's lock.
+func BadRange(gs []Nested) int {
+	n := 0
+	for _, g := range gs { // want mutexcopy
+		n += g.g.n
+	}
+	return n
+}
+
+// GoodPointer threads the lock by reference.
+func GoodPointer(g *Guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// GoodInit builds fresh values; composite literals initialize, not copy.
+func GoodInit() *Guarded {
+	g := Guarded{n: 1}
+	return &g
+}
+
+// Allowed shows the audited escape hatch.
+func Allowed(g Guarded) int { //odrips:allow mutexcopy fixture exercises the allow path
+	return g.n
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// walltimeAnalyzer forbids wall-clock time and the global math/rand state in
+// the simulation packages (internal/*). Simulated time comes from
+// sim.Scheduler.Now; randomness must flow from an explicitly seeded
+// rand.New(rand.NewSource(seed)) so every run — and every re-run of a failed
+// sweep point — is byte-identical.
+var walltimeAnalyzer = &Analyzer{
+	Name: "walltime",
+	Doc:  "forbid time.Now/Sleep/... and global math/rand in internal/* simulation packages",
+	Run:  runWalltime,
+}
+
+// bannedTimeFuncs are the package time functions that read or wait on the
+// host clock. Types (time.Duration) and pure constructors/conversions
+// (time.Duration arithmetic, time.Unix) stay allowed; internal/sim uses
+// time.Duration for interoperable formatting.
+var bannedTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "Tick": true, "After": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// allowedRandFuncs are the math/rand package-level functions that do not
+// touch the global generator.
+var allowedRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+func runWalltime(pass *Pass) {
+	if !strings.HasPrefix(pass.Path, "odrips/internal/") {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			x, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.Info.Uses[x].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pkgName.Imported().Path() {
+			case "time":
+				if bannedTimeFuncs[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"time.%s reads the host clock; simulation packages must use the sim.Scheduler clock",
+						sel.Sel.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+				if !ok { // a type (rand.Rand, rand.Source) or var, not a call target
+					return true
+				}
+				if !allowedRandFuncs[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"rand.%s uses the unseeded global generator; build a seeded rand.New(rand.NewSource(seed)) instead",
+						fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}

@@ -62,6 +62,7 @@ func Calibration() (*CalibrationResult, error) {
 		NSlow:    res.NSlow,
 		NFast:    res.NFast,
 		Window:   res.Window,
+		//odrips:allow fpfloat Step here only feeds the §4.1.3 report table; the run's timer math stays in fixed point
 		Step:     res.Step.Float(),
 		DriftPPB: res.DriftPPB(),
 	}

@@ -271,6 +271,7 @@ func TestSchedulerCancelProperty(t *testing.T) {
 	for trial := 0; trial < 50; trial++ {
 		s := NewScheduler()
 		const n = 100
+		//odrips:allow handle property test holds handles only while all stay live, precisely to exercise Cancel
 		events := make([]Event, n)
 		firedCount := 0
 		for i := range events {

@@ -23,11 +23,12 @@ type CalibrationResult struct {
 // underestimates the true ratio by less than 2^-f per slow cycle, which is
 // (2^-f / ratio) per fast cycle.
 func (r CalibrationResult) DriftPPB() float64 {
-	ratio := r.Step.Float()
-	if ratio == 0 {
+	// ratio * 2^f is exactly Step.Raw, so the bound needs no float rendering
+	// of the Step itself.
+	if r.Step.Raw == 0 {
 		return 0
 	}
-	return 1e9 / (ratio * float64(uint64(1)<<r.FracBits))
+	return 1e9 / float64(r.Step.Raw)
 }
 
 // PlanCalibration derives the fixed-point geometry for a fast/slow clock
