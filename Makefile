@@ -2,7 +2,7 @@ GO      ?= go
 PKGS    := ./...
 STAMP   := $(shell date -u +%Y%m%dT%H%M%SZ)
 
-.PHONY: all build test vet lint race verify bench bench-sweep clean
+.PHONY: all build test vet lint race verify bench bench-smoke bench-sweep benchdiff clean
 
 all: build test
 
@@ -37,9 +37,19 @@ bench:
 	mv BENCH_$(STAMP).json.tmp BENCH_$(STAMP).json
 	@echo wrote BENCH_$(STAMP).json
 
+# One iteration of every benchmark: catches bit-rot (compile errors, setup
+# panics) without paying for stable timings. Run by CI on every push.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x $(PKGS)
+
 # Just the heavyweight sweep benchmark, one iteration.
 bench-sweep:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig6aSweep|BenchmarkSchedulerChurn' -benchmem -benchtime 1x .
+
+# Compare two bench artifacts: make benchdiff OLD=BENCH_a.json NEW=BENCH_b.json
+# Fails on >10% ns/op growth or any allocs/op growth.
+benchdiff:
+	$(GO) run ./cmd/odrips-benchdiff $(OLD) $(NEW)
 
 clean:
 	rm -f BENCH_*.json BENCH_*.json.tmp

@@ -1,0 +1,212 @@
+// Command odrips-benchdiff compares two benchmark artifacts produced by
+// `make bench` (`go test -bench -benchmem -json` streams) and flags
+// performance regressions:
+//
+//	odrips-benchdiff OLD.json NEW.json
+//
+// A benchmark regresses when its ns/op grows by more than 10% or its
+// allocs/op grows at all — the allocation counts are part of the
+// zero-allocation datapath contract, so even a single new alloc per op is
+// a hard failure. Exit status: 0 clean, 1 regressions found, 2 usage or
+// parse errors. Stdlib-only by design, like the rest of the tooling.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// nsTolerance is the fractional ns/op growth tolerated before a benchmark
+// counts as regressed; wall-time is noisy, allocation counts are not.
+// nsFloorAbs additionally exempts sub-nanosecond-scale jitter: a handful of
+// ns on a single-digit-ns benchmark is timer granularity, not a regression,
+// so the absolute growth must clear the floor too.
+const (
+	nsTolerance = 0.10
+	nsFloorAbs  = 2.0 // ns/op
+)
+
+type result struct {
+	nsPerOp     float64
+	allocsPerOp float64
+	hasAllocs   bool
+}
+
+// testEvent is the subset of the `go test -json` stream we consume.
+type testEvent struct {
+	Action  string
+	Package string
+	Output  string
+}
+
+// benchFull matches a one-line result: `BenchmarkName-8   123   456 ns/op …`.
+var benchFull = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.*ns/op.*)$`)
+
+// benchName matches a bare benchmark name. The -json stream flushes the
+// name and the numbers as separate output events whenever the benchmark
+// emitted anything itself (b.ReportMetric, logging), so the parser has to
+// stitch them back together.
+var benchName = regexp.MustCompile(`^Benchmark\S+$`)
+
+// benchValues matches a numbers-only continuation: `123   456 ns/op …`.
+var benchValues = regexp.MustCompile(`^\d+\s+(.*ns/op.*)$`)
+
+func stripProcs(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func parseValues(s string) result {
+	var r result
+	fields := strings.Fields(s)
+	for i := 1; i < len(fields); i++ {
+		v, err := strconv.ParseFloat(fields[i-1], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i] {
+		case "ns/op":
+			r.nsPerOp = v
+		case "allocs/op":
+			r.allocsPerOp = v
+			r.hasAllocs = true
+		}
+	}
+	return r
+}
+
+// parseArtifact extracts benchmark results keyed by "package.BenchmarkName"
+// (GOMAXPROCS suffix stripped, so artifacts from differently sized hosts
+// still line up). The last run of a repeated benchmark wins.
+func parseArtifact(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]result)
+	pending := make(map[string]string) // package -> name awaiting its numbers
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev testEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // tolerate non-JSON noise in the stream
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		line := strings.TrimSpace(ev.Output)
+		switch {
+		case benchFull.MatchString(line):
+			m := benchFull.FindStringSubmatch(line)
+			if r := parseValues(m[2]); r.nsPerOp > 0 {
+				out[ev.Package+"."+stripProcs(m[1])] = r
+			}
+			delete(pending, ev.Package)
+		case benchName.MatchString(line):
+			pending[ev.Package] = stripProcs(line)
+		case benchValues.MatchString(line):
+			name, ok := pending[ev.Package]
+			if !ok {
+				continue
+			}
+			m := benchValues.FindStringSubmatch(line)
+			if r := parseValues(m[1]); r.nsPerOp > 0 {
+				out[ev.Package+"."+name] = r
+			}
+			delete(pending, ev.Package)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	return out, nil
+}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: odrips-benchdiff OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldRes, err := parseArtifact(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odrips-benchdiff:", err)
+		os.Exit(2)
+	}
+	newRes, err := parseArtifact(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odrips-benchdiff:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(oldRes))
+	for n := range oldRes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var regressions []string
+	fmt.Printf("%-60s %14s %14s %8s %10s\n", "benchmark", "old ns/op", "new ns/op", "Δ%", "allocs/op")
+	for _, n := range names {
+		o := oldRes[n]
+		nw, ok := newRes[n]
+		if !ok {
+			fmt.Printf("%-60s %14.0f %14s\n", n, o.nsPerOp, "(gone)")
+			continue
+		}
+		pct := (nw.nsPerOp - o.nsPerOp) / o.nsPerOp * 100
+		allocs := ""
+		if o.hasAllocs || nw.hasAllocs {
+			allocs = fmt.Sprintf("%.0f→%.0f", o.allocsPerOp, nw.allocsPerOp)
+		}
+		mark := ""
+		if nw.nsPerOp > o.nsPerOp*(1+nsTolerance) && nw.nsPerOp-o.nsPerOp > nsFloorAbs {
+			mark = "  REGRESSED time"
+			regressions = append(regressions, fmt.Sprintf("%s: ns/op %+.1f%% (limit +%.0f%%)", n, pct, nsTolerance*100))
+		}
+		if nw.allocsPerOp > o.allocsPerOp {
+			mark += "  REGRESSED allocs"
+			regressions = append(regressions, fmt.Sprintf("%s: allocs/op %.0f → %.0f", n, o.allocsPerOp, nw.allocsPerOp))
+		}
+		fmt.Printf("%-60s %14.0f %14.0f %7.1f%% %10s%s\n", n, o.nsPerOp, nw.nsPerOp, pct, allocs, mark)
+	}
+	added := make([]string, 0)
+	for n := range newRes {
+		if _, ok := oldRes[n]; !ok {
+			added = append(added, n)
+		}
+	}
+	sort.Strings(added)
+	for _, n := range added {
+		fmt.Printf("%-60s %14s %14.0f\n", n, "(new)", newRes[n].nsPerOp)
+	}
+
+	if len(regressions) > 0 {
+		fmt.Println()
+		for _, r := range regressions {
+			fmt.Println("REGRESSION:", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("\nno regressions (tolerance: ns/op +%.0f%% and +%.0fns, allocs/op +0)\n", nsTolerance*100, nsFloorAbs)
+}

@@ -1,0 +1,30 @@
+//go:build !race
+
+// Alloc-regression guard for the streaming serializer (excluded under the
+// race detector, whose instrumentation allocates).
+
+package ctxstore
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestAppendSerializedAllocFree locks in zero allocations when serializing
+// into a pre-sized buffer, and that the streamed bytes match Serialize.
+func TestAppendSerializedAllocFree(t *testing.T) {
+	c := GenerateSkylake(42)
+	want := c.Serialize()
+	if len(want) != c.SerializedSize() {
+		t.Fatalf("SerializedSize=%d, Serialize produced %d bytes", c.SerializedSize(), len(want))
+	}
+	buf := make([]byte, 0, c.SerializedSize())
+	if n := testing.AllocsPerRun(20, func() {
+		buf = c.AppendSerialized(buf[:0])
+	}); n != 0 {
+		t.Fatalf("AppendSerialized into sized buffer allocates %.1f/op, want 0", n)
+	}
+	if !bytes.Equal(buf, want) {
+		t.Fatal("AppendSerialized bytes differ from Serialize")
+	}
+}

@@ -112,23 +112,41 @@ func (c *Context) Equal(o *Context) bool {
 // serialization: u32 section count, then per section u32 name len, name,
 // u32 data len, data; finally a SHA-256 trailer over everything before it.
 
-// Serialize flattens the context for transport to SRAM or protected DRAM.
-func (c *Context) Serialize() []byte {
-	var buf bytes.Buffer
+// SerializedSize returns the exact length of the canonical serialization,
+// letting callers size a reusable buffer once instead of growing one per
+// save.
+func (c *Context) SerializedSize() int {
+	n := 4 + sha256.Size
+	for _, s := range c.sections {
+		n += 4 + len(s.Name) + 4 + len(s.Data)
+	}
+	return n
+}
+
+// AppendSerialized appends the canonical serialization to dst and returns
+// the extended slice. With dst pre-sized to SerializedSize capacity it
+// performs no allocations, which is what keeps repeated context saves off
+// the garbage collector.
+func (c *Context) AppendSerialized(dst []byte) []byte {
+	start := len(dst)
 	var tmp [4]byte
 	binary.LittleEndian.PutUint32(tmp[:], uint32(len(c.sections)))
-	buf.Write(tmp[:])
+	dst = append(dst, tmp[:]...)
 	for _, s := range c.sections {
 		binary.LittleEndian.PutUint32(tmp[:], uint32(len(s.Name)))
-		buf.Write(tmp[:])
-		buf.WriteString(s.Name)
+		dst = append(dst, tmp[:]...)
+		dst = append(dst, s.Name...)
 		binary.LittleEndian.PutUint32(tmp[:], uint32(len(s.Data)))
-		buf.Write(tmp[:])
-		buf.Write(s.Data)
+		dst = append(dst, tmp[:]...)
+		dst = append(dst, s.Data...)
 	}
-	sum := sha256.Sum256(buf.Bytes())
-	buf.Write(sum[:])
-	return buf.Bytes()
+	sum := sha256.Sum256(dst[start:])
+	return append(dst, sum[:]...)
+}
+
+// Serialize flattens the context for transport to SRAM or protected DRAM.
+func (c *Context) Serialize() []byte {
+	return c.AppendSerialized(make([]byte, 0, c.SerializedSize()))
 }
 
 // Deserialize parses a serialized context, verifying the trailer checksum.

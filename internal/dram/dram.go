@@ -258,22 +258,29 @@ func (m *Module) checkAccess(addr uint64, n int) error {
 	return nil
 }
 
-// Write stores data (block-aligned) at addr.
+// Write stores data (block-aligned) at addr. The bytes are copied: the
+// module never retains a reference to data, so callers may reuse their
+// buffer immediately. Blocks that were written before are updated in place,
+// so steady-state rewrites allocate nothing.
 func (m *Module) Write(addr uint64, data []byte) error {
 	if err := m.checkAccess(addr, len(data)); err != nil {
 		return err
 	}
 	for off := 0; off < len(data); off += BlockSize {
-		blk := make([]byte, BlockSize)
+		a := addr + uint64(off)
+		blk, ok := m.blocks[a]
+		if !ok {
+			blk = make([]byte, BlockSize)
+			m.blocks[a] = blk
+		}
 		copy(blk, data[off:off+BlockSize])
-		m.blocks[addr+uint64(off)] = blk
 		m.writeBlocks++
 	}
 	return nil
 }
 
-// Read returns n bytes (block-aligned) at addr. Unwritten blocks read as
-// zeros, as a scrubbed DRAM would.
+// Read returns n bytes (block-aligned) at addr in a freshly allocated
+// buffer. Unwritten blocks read as zeros, as a scrubbed DRAM would.
 func (m *Module) Read(addr uint64, n int) ([]byte, error) {
 	if err := m.checkAccess(addr, n); err != nil {
 		return nil, err
@@ -286,4 +293,44 @@ func (m *Module) Read(addr uint64, n int) ([]byte, error) {
 		m.readBlocks++
 	}
 	return out, nil
+}
+
+// ReadBlockInto copies the single block at addr into dst[:BlockSize]
+// without allocating. dst must hold at least BlockSize bytes; an unwritten
+// block reads as zeros. It counts as one block of read traffic, exactly
+// like reading the block through Read.
+func (m *Module) ReadBlockInto(addr uint64, dst []byte) error {
+	if err := m.checkAccess(addr, BlockSize); err != nil {
+		return err
+	}
+	if len(dst) < BlockSize {
+		return fmt.Errorf("dram: ReadBlockInto dst of %d bytes, need %d", len(dst), BlockSize)
+	}
+	dst = dst[:BlockSize]
+	if blk, ok := m.blocks[addr]; ok {
+		copy(dst, blk)
+	} else {
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+	m.readBlocks++
+	return nil
+}
+
+// BlockView returns a zero-copy view of the block at addr, or nil if the
+// block was never written. It counts as one block of read traffic.
+//
+// Aliasing contract: the returned slice is the module's own storage.
+// Callers must treat it as read-only, and it is only valid until the next
+// Write covering addr (which updates the bytes in place), the next power
+// transition that destroys contents, or — for a nil-returning addr — the
+// first Write that materializes the block. Callers that need a stable copy
+// must use Read or ReadBlockInto instead.
+func (m *Module) BlockView(addr uint64) ([]byte, error) {
+	if err := m.checkAccess(addr, BlockSize); err != nil {
+		return nil, err
+	}
+	m.readBlocks++
+	return m.blocks[addr], nil
 }

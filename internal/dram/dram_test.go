@@ -292,3 +292,108 @@ func BenchmarkBlockWrite(b *testing.B) {
 		_ = m.Write(uint64(i%1024)*BlockSize, blk)
 	}
 }
+
+func TestReadBlockInto(t *testing.T) {
+	m := New(Skylake8GB())
+	blk := make([]byte, BlockSize)
+	for i := range blk {
+		blk[i] = byte(i + 1)
+	}
+	if err := m.Write(0x1000, blk); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, BlockSize)
+	if err := m.ReadBlockInto(0x1000, dst[:BlockSize-1]); err == nil {
+		t.Fatal("short destination accepted")
+	}
+	if err := m.ReadBlockInto(0x1000, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, blk) {
+		t.Fatal("ReadBlockInto returned wrong bytes")
+	}
+	// An unwritten block must zero-fill the whole destination, not leave
+	// stale bytes from a previous read.
+	if err := m.ReadBlockInto(0x2000, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range dst {
+		if b != 0 {
+			t.Fatalf("unwritten block byte %d = %#x, want 0", i, b)
+		}
+	}
+	if err := m.ReadBlockInto(0x1001, dst); err == nil {
+		t.Fatal("unaligned address accepted")
+	}
+	if r, w := m.Stats(); r != 2 || w != 1 {
+		t.Fatalf("stats read=%d write=%d, want 2/1 (failed calls must not count)", r, w)
+	}
+}
+
+// TestBlockViewAliasing pins the documented aliasing contract: the view is
+// the module's own storage, reflects later in-place writes, and dies with
+// a power transition that destroys contents.
+func TestBlockViewAliasing(t *testing.T) {
+	m := New(Skylake8GB())
+	if v, err := m.BlockView(0x40); err != nil || v != nil {
+		t.Fatalf("view of unwritten block = %v, %v; want nil, nil", v, err)
+	}
+	blk := make([]byte, BlockSize)
+	blk[0] = 0xAA
+	if err := m.Write(0x40, blk); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.BlockView(0x40)
+	if err != nil || len(v) != BlockSize || v[0] != 0xAA {
+		t.Fatalf("view = %v, %v", v[:1], err)
+	}
+	// In-place rewrite: the existing view observes the new bytes.
+	blk[0] = 0xBB
+	if err := m.Write(0x40, blk); err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 0xBB {
+		t.Fatalf("view did not track in-place write: %#x", v[0])
+	}
+	// Volatile power-off destroys contents; a fresh view must be nil and
+	// the old view must no longer alias module storage.
+	if err := m.SetState(PoweredOff); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetState(Active); err != nil {
+		t.Fatal(err)
+	}
+	if nv, err := m.BlockView(0x40); err != nil || nv != nil {
+		t.Fatalf("view after destroy = %v, %v; want nil, nil", nv, err)
+	}
+	if err := m.Write(0x40, blk); err != nil {
+		t.Fatal(err)
+	}
+	if &v[0] == &blk[0] {
+		t.Fatal("view aliases caller buffer")
+	}
+	if _, err := m.BlockView(0x41); err == nil {
+		t.Fatal("unaligned view accepted")
+	}
+}
+
+// TestWriteUpdatesInPlace pins the in-place rewrite guarantee Write now
+// documents: steady-state rewrites reuse the existing block storage.
+func TestWriteUpdatesInPlace(t *testing.T) {
+	m := New(Skylake8GB())
+	blk := make([]byte, BlockSize)
+	if err := m.Write(0, blk); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.BlockView(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk[7] = 0x77
+	if err := m.Write(0, blk); err != nil {
+		t.Fatal(err)
+	}
+	if v[7] != 0x77 {
+		t.Fatal("rewrite allocated fresh storage instead of updating in place")
+	}
+}

@@ -13,6 +13,11 @@ type metaCache struct {
 	lines []cacheLine
 
 	hits, misses, writebacks uint64
+
+	// gen counts line mutations (fills, installs, flushes). The engine's
+	// sequential-walk fast paths stamp it when they capture a line pointer
+	// and bail out of the fast path once it moves.
+	gen uint64
 }
 
 type cacheLine struct {
@@ -20,6 +25,17 @@ type cacheLine struct {
 	dirty bool
 	addr  uint64
 	data  [BlockSize]byte
+
+	// Deferred-seal bookkeeping (engine metadata, not modeled bytes). A
+	// line's MAC field is only observable when the line leaves the cache
+	// for DRAM, and its covering counter cannot change without the line
+	// itself being re-touched (any write through the node re-installs it),
+	// so the engine seals lazily: sealed marks whether data[56:64] holds a
+	// valid MAC, parentCtr records the freshness counter to seal under,
+	// and lvl/idx identify the node for the MAC's level/index binding.
+	sealed    bool
+	parentCtr uint64
+	lvl, idx  int
 }
 
 func newMetaCache(lines int) *metaCache {
@@ -33,7 +49,7 @@ func (c *metaCache) index(addr uint64) int {
 	return int((addr / BlockSize) % uint64(len(c.lines)))
 }
 
-// lookup returns the cached copy of addr, or nil.
+// lookup returns the cached copy of addr, or nil, counting a hit or miss.
 func (c *metaCache) lookup(addr uint64) *cacheLine {
 	ln := &c.lines[c.index(addr)]
 	if ln.valid && ln.addr == addr {
@@ -44,9 +60,26 @@ func (c *metaCache) lookup(addr uint64) *cacheLine {
 	return nil
 }
 
+// peek is lookup without touching the hit/miss counters. The engine's
+// sequential-walk fast path uses it to test residency and to install
+// deferred path copies whose lookups were already accounted for.
+func (c *metaCache) peek(addr uint64) *cacheLine {
+	ln := &c.lines[c.index(addr)]
+	if ln.valid && ln.addr == addr {
+		return ln
+	}
+	return nil
+}
+
+// credit adds n cache hits without performing lookups. The sequential-walk
+// fast path skips lookups it has proven would hit; crediting them keeps the
+// Stats counters bit-identical to the unoptimized walk.
+func (c *metaCache) credit(n uint64) { c.hits += n }
+
 // fill installs data for addr, returning any dirty victim that must be
-// written back (victim.valid == false when no write-back is needed).
-func (c *metaCache) fill(addr uint64, data []byte) (victim cacheLine) {
+// written back (victim.valid == false when no write-back is needed). The
+// lvl/idx/parentCtr/sealed arguments carry the deferred-seal bookkeeping.
+func (c *metaCache) fill(addr uint64, data []byte, lvl, idx int, parentCtr uint64, sealed bool) (victim cacheLine) {
 	ln := &c.lines[c.index(addr)]
 	if ln.valid && ln.dirty && ln.addr != addr {
 		victim = *ln
@@ -56,23 +89,35 @@ func (c *metaCache) fill(addr uint64, data []byte) (victim cacheLine) {
 	ln.dirty = false
 	ln.addr = addr
 	copy(ln.data[:], data)
+	ln.lvl, ln.idx = lvl, idx
+	ln.parentCtr = parentCtr
+	ln.sealed = sealed
+	c.gen++
 	return victim
 }
 
-// flushAll returns all dirty lines and invalidates the cache (engine
-// power-down path). The caller writes the returned lines back to DRAM.
-func (c *metaCache) flushAll() []cacheLine {
-	var dirty []cacheLine
+// flushDirty invokes fn on every dirty line in index order, then
+// invalidates the whole cache (engine power-down path). The caller must
+// have sealed all dirty lines first. Write-back accounting happens up
+// front so the counters match the historical collect-then-write behavior
+// even if fn fails mid-way.
+func (c *metaCache) flushDirty(fn func(addr uint64, data []byte) error) error {
+	for i := range c.lines {
+		if ln := &c.lines[i]; ln.valid && ln.dirty {
+			c.writebacks++
+		}
+	}
+	var firstErr error
 	for i := range c.lines {
 		ln := &c.lines[i]
-		if ln.valid && ln.dirty {
-			dirty = append(dirty, *ln)
-			c.writebacks++
+		if firstErr == nil && ln.valid && ln.dirty {
+			firstErr = fn(ln.addr, ln.data[:])
 		}
 		ln.valid = false
 		ln.dirty = false
 	}
-	return dirty
+	c.gen++
+	return firstErr
 }
 
 // stats returns hits, misses, writebacks.

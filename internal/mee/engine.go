@@ -3,7 +3,6 @@ package mee
 import (
 	"crypto/aes"
 	"crypto/cipher"
-	"crypto/hmac"
 	"crypto/sha256"
 	"crypto/subtle"
 	"encoding/binary"
@@ -14,6 +13,11 @@ import (
 
 // Stats counts the engine's DRAM traffic in 64-byte blocks, split by kind.
 // The context save/restore timing model is driven by these counts.
+//
+// Every fast path in this package (reusable HMAC states, in-place block IO,
+// sequential-walk tree-path reuse) is required to leave these counters
+// bit-identical to the straightforward implementation: the §6.3 latencies
+// must keep emerging from block counts, not change under optimization.
 type Stats struct {
 	DataReads   uint64
 	DataWrites  uint64
@@ -42,6 +46,28 @@ func (e *IntegrityError) Error() string {
 	return fmt.Sprintf("mee: integrity violation: %s at %#x", e.What, e.Addr)
 }
 
+// writeWalk tracks an in-progress sequential write walk: consecutive
+// WriteBlock calls that land in the same L0 metadata block keep mutating
+// the locally held path copies (versions and counters) and defer the
+// per-level reseal + cache install until the walk leaves the subtree.
+// Intermediate seals are never observable — DRAM and the cache see exactly
+// the bytes the unoptimized per-block walk would have produced.
+type writeWalk struct {
+	active bool
+	dirty  bool // a deferred (unsealed, uninstalled) mutation exists
+	b      int  // L0 block index the walk covers
+}
+
+// readWalk remembers the verified L0 cache line the previous ReadBlock
+// used, so a contiguous restore re-uses the verified ancestor path instead
+// of re-looking it up per block. gen guards against any cache mutation.
+type readWalk struct {
+	ok   bool
+	b    int
+	gen  uint64
+	line *cacheLine
+}
+
 // Engine is the memory encryption engine guarding one protected region.
 type Engine struct {
 	mem    *dram.Module
@@ -55,6 +81,25 @@ type Engine struct {
 	cache       *metaCache
 
 	stats Stats
+
+	// Reusable crypto state and engine-owned scratch buffers. Together
+	// they make the steady-state block datapath allocation-free.
+	mac     macCtx
+	u64Buf  [8]byte          // MAC length/index staging
+	ctrBuf  [aes.BlockSize]byte
+	ksBuf   [aes.BlockSize]byte
+	ctBuf   [BlockSize]byte // ciphertext staging (write + read paths)
+	padBuf  [BlockSize]byte // zero-padded tail block for WriteRegion
+	metaBuf [BlockSize]byte // metadata fetch staging
+	pathBuf []pathBlock     // reusable loadPath scratch
+	// victimBuf stages evicted cache lines for sealing + write-back; an
+	// engine field because slices of it escape through the hash.Hash
+	// interface, which would heap-allocate a per-call local.
+	victimBuf cacheLine
+
+	walk     writeWalk
+	readPath readWalk
+	noWalk   bool // test hook: force the per-block slow path
 }
 
 // New creates an engine over a fresh protected region and formats the
@@ -91,7 +136,7 @@ func build(mem *dram.Module, layout Layout, key [32]byte, cacheLines int, rootCo
 	}
 	var macKey [32]byte
 	macKey = sha256.Sum256(append([]byte("mee-mac-key"), key[:]...))
-	return &Engine{
+	e := &Engine{
 		mem:         mem,
 		layout:      layout,
 		masterKey:   key,
@@ -99,7 +144,10 @@ func build(mem *dram.Module, layout Layout, key [32]byte, cacheLines int, rootCo
 		macKey:      macKey,
 		rootCounter: rootCounter,
 		cache:       newMetaCache(cacheLines),
-	}, nil
+		pathBuf:     make([]pathBlock, 0, layout.Levels()+1),
+	}
+	e.mac.init(macKey[:])
+	return e, nil
 }
 
 // Layout returns the region layout.
@@ -108,7 +156,9 @@ func (e *Engine) Layout() Layout { return e.layout }
 // Mem returns the backing memory module (for transfer pricing).
 func (e *Engine) Mem() *dram.Module { return e.mem }
 
-// Stats returns a snapshot of the traffic counters.
+// Stats returns a snapshot of the traffic counters. Deferred sequential-
+// walk work is accounted eagerly, so the snapshot is exact at every
+// WriteBlock/ReadBlock boundary.
 func (e *Engine) Stats() Stats {
 	s := e.stats
 	s.CacheHits, s.CacheMisses, _ = e.cache.stats()
@@ -126,46 +176,64 @@ func (e *Engine) RootCounter() uint64 { return e.rootCounter }
 
 // ---- crypto helpers ----
 
-func (e *Engine) encrypt(plaintext []byte, blockIdx int, version uint64) []byte {
-	var iv [16]byte
-	binary.LittleEndian.PutUint64(iv[0:8], uint64(blockIdx))
-	binary.LittleEndian.PutUint64(iv[8:16], version)
-	out := make([]byte, BlockSize)
-	cipher.NewCTR(e.aesBlock, iv[:]).XORKeyStream(out, plaintext)
-	return out
-}
-
-// decrypt is identical to encrypt under CTR mode.
-func (e *Engine) decrypt(ct []byte, blockIdx int, version uint64) []byte {
-	return e.encrypt(ct, blockIdx, version)
-}
-
-func (e *Engine) mac(parts ...[]byte) [macSize]byte {
-	h := hmac.New(sha256.New, e.macKey[:])
-	for _, p := range parts {
-		h.Write(p)
+// xorKeyStream encrypts (or, CTR being an involution, decrypts) one
+// 64-byte block with AES-128-CTR under IV = (blockIdx, version), staging
+// the counter and keystream in engine-owned buffers. The output is
+// bit-identical to cipher.NewCTR(e.aesBlock, iv).XORKeyStream, which
+// TestXORKeyStreamMatchesStdlibCTR asserts, without the per-call stream
+// allocation. dst and src must not overlap unless equal.
+func (e *Engine) xorKeyStream(dst, src []byte, blockIdx int, version uint64) {
+	ctr := e.ctrBuf[:]
+	binary.LittleEndian.PutUint64(ctr[0:8], uint64(blockIdx))
+	binary.LittleEndian.PutUint64(ctr[8:16], version)
+	ks := e.ksBuf[:]
+	for off := 0; off < BlockSize; off += aes.BlockSize {
+		e.aesBlock.Encrypt(ks, ctr)
+		for j := 0; j < aes.BlockSize; j++ {
+			dst[off+j] = src[off+j] ^ ks[j]
+		}
+		// CTR mode treats the whole IV as one big-endian counter.
+		for k := aes.BlockSize - 1; k >= 0; k-- {
+			ctr[k]++
+			if ctr[k] != 0 {
+				break
+			}
+		}
 	}
-	var out [macSize]byte
-	copy(out[:], h.Sum(nil))
-	return out
 }
 
-func le64(v uint64) []byte {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], v)
-	return b[:]
+var (
+	dataTag = []byte("data")
+	metaTag = []byte("meta")
+)
+
+// macU64 streams a little-endian uint64 into the in-progress MAC.
+func (e *Engine) macU64(v uint64) {
+	binary.LittleEndian.PutUint64(e.u64Buf[:], v)
+	e.mac.write(e.u64Buf[:])
 }
 
 // macData authenticates a data block's ciphertext bound to its index and
 // version.
 func (e *Engine) macData(ct []byte, blockIdx int, version uint64) [macSize]byte {
-	return e.mac([]byte("data"), ct, le64(uint64(blockIdx)), le64(version))
+	e.mac.begin()
+	e.mac.write(dataTag)
+	e.mac.write(ct)
+	e.macU64(uint64(blockIdx))
+	e.macU64(version)
+	return e.mac.finishTrunc()
 }
 
 // macMeta authenticates a metadata block's payload bound to its level,
 // index, and the parent counter that provides freshness.
 func (e *Engine) macMeta(payload []byte, lvl, idx int, parentCtr uint64) [macSize]byte {
-	return e.mac([]byte("meta"), payload, le64(uint64(lvl)), le64(uint64(idx)), le64(parentCtr))
+	e.mac.begin()
+	e.mac.write(metaTag)
+	e.mac.write(payload)
+	e.macU64(uint64(lvl))
+	e.macU64(uint64(idx))
+	e.macU64(parentCtr)
+	return e.mac.finishTrunc()
 }
 
 // ---- metadata block codecs ----
@@ -238,12 +306,14 @@ func (e *Engine) fetchMeta(lvl, idx int) (*cacheLine, error) {
 		return ln, nil
 	}
 	// Verify the parent chain first (recursion terminates at the root).
+	// The recursion finishes with metaBuf before this frame stages its own
+	// block in it, so one engine-owned buffer serves every level.
 	parentCtr, err := e.parentCounterOf(lvl, idx)
 	if err != nil {
 		return nil, err
 	}
-	raw, err := e.mem.Read(addr, BlockSize)
-	if err != nil {
+	raw := e.metaBuf[:]
+	if err := e.mem.ReadBlockInto(addr, raw); err != nil {
 		return nil, err
 	}
 	e.stats.MetaReads++
@@ -251,9 +321,10 @@ func (e *Engine) fetchMeta(lvl, idx int) (*cacheLine, error) {
 	if subtle.ConstantTimeCompare(want[:], macOf(lvl, raw)) != 1 {
 		return nil, &IntegrityError{What: fmt.Sprintf("metadata MAC (level %d node %d)", lvl, idx), Addr: addr}
 	}
-	victim := e.cache.fill(addr, raw)
-	if victim.valid {
-		if err := e.mem.Write(victim.addr, victim.data[:]); err != nil {
+	e.victimBuf = e.cache.fill(addr, raw, lvl, idx, parentCtr, true)
+	if e.victimBuf.valid {
+		e.sealLine(&e.victimBuf)
+		if err := e.mem.Write(e.victimBuf.addr, e.victimBuf.data[:]); err != nil {
 			return nil, err
 		}
 		e.stats.MetaWrites++
@@ -274,22 +345,44 @@ func (e *Engine) fetchMeta(lvl, idx int) (*cacheLine, error) {
 type pathBlock struct {
 	lvl, idx int
 	data     [BlockSize]byte
+
+	// Deferred-seal bookkeeping mirrored into the cache line on install
+	// (see cacheLine): sealed says whether data[56:64] is a valid MAC,
+	// parentCtr is the freshness counter to seal under when it is not.
+	sealed    bool
+	parentCtr uint64
+}
+
+// sealLine computes the deferred MAC of an unsealed metadata line just
+// before its bytes become observable (DRAM write-back or flush). Sealing at
+// eviction time is byte-identical to sealing at install time: a node's
+// covering counter cannot advance without the node itself being
+// re-installed with a fresh parentCtr, so parentCtr still holds the value
+// an eager implementation would have sealed under.
+func (e *Engine) sealLine(ln *cacheLine) {
+	if ln.sealed {
+		return
+	}
+	mac := e.macMeta(payloadOf(ln.lvl, ln.data[:]), ln.lvl, ln.idx, ln.parentCtr)
+	setMacOf(ln.lvl, ln.data[:], mac)
+	ln.sealed = true
 }
 
 // loadPath fetches and verifies the metadata path covering L0 block b,
-// bottom-up, returning local copies: [L0 b, L1 node, ..., top node].
+// bottom-up, returning local copies: [L0 b, L1 node, ..., top node]. The
+// returned slice is backed by the engine-owned pathBuf scratch.
 func (e *Engine) loadPath(b int) ([]pathBlock, error) {
-	path := make([]pathBlock, 0, e.topLevel()+1)
+	path := e.pathBuf[:0]
 	lvl, idx := 0, b
 	for {
 		ln, err := e.fetchMeta(lvl, idx)
 		if err != nil {
 			return nil, err
 		}
-		pb := pathBlock{lvl: lvl, idx: idx}
-		pb.data = ln.data // copy immediately; the line may be evicted later
-		path = append(path, pb)
+		// Copy immediately; the line may be evicted later.
+		path = append(path, pathBlock{lvl: lvl, idx: idx, data: ln.data, sealed: ln.sealed, parentCtr: ln.parentCtr})
 		if lvl == e.topLevel() {
+			e.pathBuf = path
 			return path, nil
 		}
 		lvl, idx = lvl+1, idx/nodeArity
@@ -305,12 +398,15 @@ func (e *Engine) installPath(path []pathBlock) error {
 		addr := e.metaAddr(pb.lvl, pb.idx)
 		if ln := e.cache.lookup(addr); ln != nil {
 			ln.data = pb.data
+			ln.sealed = pb.sealed
+			ln.parentCtr = pb.parentCtr
 			ln.dirty = true
 			continue
 		}
-		victim := e.cache.fill(addr, pb.data[:])
-		if victim.valid {
-			if err := e.mem.Write(victim.addr, victim.data[:]); err != nil {
+		e.victimBuf = e.cache.fill(addr, pb.data[:], pb.lvl, pb.idx, pb.parentCtr, pb.sealed)
+		if e.victimBuf.valid {
+			e.sealLine(&e.victimBuf)
+			if err := e.mem.Write(e.victimBuf.addr, e.victimBuf.data[:]); err != nil {
 				return err
 			}
 			e.stats.MetaWrites++
@@ -319,6 +415,92 @@ func (e *Engine) installPath(path []pathBlock) error {
 			ln.dirty = true
 		}
 	}
+	e.cache.gen++
+	return nil
+}
+
+// startWalk arms the sequential write walk over the just-installed path.
+// The fast path is only sound while every path line stays resident, so a
+// cache too small (or too aliased) to hold the whole path keeps the engine
+// on the per-block slow path.
+func (e *Engine) startWalk(b int, path []pathBlock) {
+	if e.noWalk {
+		return
+	}
+	for i := range path {
+		if e.cache.peek(e.metaAddr(path[i].lvl, path[i].idx)) == nil {
+			return
+		}
+	}
+	e.walk = writeWalk{active: true, b: b}
+}
+
+// commitWalk installs the locally mutated path into the cache under its
+// final counters. The lines go in unsealed: their MACs are computed lazily
+// at eviction or flush time (sealLine), which produces the same bytes the
+// per-block resealing walk would have — seals depend only on the final
+// payloads and counters, and no eviction can occur while a walk is active
+// (a walk ends before any cache fill).
+func (e *Engine) commitWalk() error {
+	if !e.walk.active {
+		return nil
+	}
+	e.walk.active = false
+	if !e.walk.dirty {
+		return nil
+	}
+	e.walk.dirty = false
+	path := e.pathBuf
+	for p := 0; p < len(path)-1; p++ {
+		child, node := &path[p], &path[p+1]
+		child.sealed = false
+		child.parentCtr = nodeCounter(node.data[:], child.idx%nodeArity)
+	}
+	top := &path[len(path)-1]
+	top.sealed = false
+	top.parentCtr = e.rootCounter
+	// Quiet install: the lookups for these lines were credited when the
+	// deferred writes happened, so this must not count again.
+	for p := range path {
+		pb := &path[p]
+		ln := e.cache.peek(e.metaAddr(pb.lvl, pb.idx))
+		if ln == nil {
+			return fmt.Errorf("mee: sequential-walk path line evicted (internal invariant)")
+		}
+		ln.data = pb.data
+		ln.sealed = false
+		ln.parentCtr = pb.parentCtr
+		ln.dirty = true
+	}
+	e.cache.gen++
+	return nil
+}
+
+// writeBlockFast is WriteBlock for a block whose whole metadata path is
+// already held (verified and mutated) by the active sequential walk: bump
+// the version and counters locally, write the ciphertext, and defer the
+// per-level reseal to commitWalk.
+func (e *Engine) writeBlockFast(i, slot int, plaintext []byte) error {
+	path := e.pathBuf
+	l0 := &path[0]
+	version, _ := l0Entry(l0.data[:], slot)
+	version++
+	e.xorKeyStream(e.ctBuf[:], plaintext, i, version)
+	if err := e.mem.Write(e.layout.dataAddr(i), e.ctBuf[:]); err != nil {
+		return err
+	}
+	e.stats.DataWrites++
+	setL0Entry(l0.data[:], slot, version, e.macData(e.ctBuf[:], i, version))
+	for p := 1; p < len(path); p++ {
+		child, node := &path[p-1], &path[p]
+		cslot := child.idx % nodeArity
+		setNodeCounter(node.data[:], cslot, nodeCounter(node.data[:], cslot)+1)
+	}
+	e.rootCounter++
+	e.walk.dirty = true
+	// Accounting parity: the slow path's loadPath and installPath would
+	// each have looked up every (resident) path line — all hits.
+	e.cache.credit(2 * uint64(len(path)))
 	return nil
 }
 
@@ -332,6 +514,12 @@ func (e *Engine) WriteBlock(i int, plaintext []byte) error {
 		return fmt.Errorf("mee: plaintext length %d, want %d", len(plaintext), BlockSize)
 	}
 	b, slot := i/entriesPerL0, i%entriesPerL0
+	if e.walk.active && e.walk.b == b {
+		return e.writeBlockFast(i, slot, plaintext)
+	}
+	if err := e.commitWalk(); err != nil {
+		return err
+	}
 	path, err := e.loadPath(b)
 	if err != nil {
 		return err
@@ -340,58 +528,93 @@ func (e *Engine) WriteBlock(i int, plaintext []byte) error {
 	l0 := &path[0]
 	version, _ := l0Entry(l0.data[:], slot)
 	version++
-	ct := e.encrypt(plaintext, i, version)
-	if err := e.mem.Write(e.layout.dataAddr(i), ct); err != nil {
+	e.xorKeyStream(e.ctBuf[:], plaintext, i, version)
+	if err := e.mem.Write(e.layout.dataAddr(i), e.ctBuf[:]); err != nil {
 		return err
 	}
 	e.stats.DataWrites++
-	setL0Entry(l0.data[:], slot, version, e.macData(ct, i, version))
-	// ...then bump one counter per level and reseal each child under its
-	// incremented parent counter.
+	setL0Entry(l0.data[:], slot, version, e.macData(e.ctBuf[:], i, version))
+	// ...then bump one counter per level, leaving each child unsealed with
+	// its new covering counter recorded: the reseal is deferred until the
+	// line's bytes become observable (eviction or flush).
 	for p := 1; p < len(path); p++ {
 		child, node := &path[p-1], &path[p]
 		cslot := child.idx % nodeArity
 		newCtr := nodeCounter(node.data[:], cslot) + 1
 		setNodeCounter(node.data[:], cslot, newCtr)
-		mac := e.macMeta(payloadOf(child.lvl, child.data[:]), child.lvl, child.idx, newCtr)
-		setMacOf(child.lvl, child.data[:], mac)
+		child.sealed = false
+		child.parentCtr = newCtr
 	}
-	// Seal the top node under a fresh on-chip root counter.
+	// The top node seals under a fresh on-chip root counter.
 	e.rootCounter++
 	top := &path[len(path)-1]
-	mac := e.macMeta(payloadOf(top.lvl, top.data[:]), top.lvl, top.idx, e.rootCounter)
-	setMacOf(top.lvl, top.data[:], mac)
-	return e.installPath(path)
+	top.sealed = false
+	top.parentCtr = e.rootCounter
+	if err := e.installPath(path); err != nil {
+		return err
+	}
+	e.startWalk(b, path)
+	return nil
 }
 
-// ReadBlock fetches, verifies, and decrypts data block i. A block that was
+// ReadBlockInto fetches, verifies, and decrypts data block i into
+// dst[:BlockSize] without allocating. dst must hold at least BlockSize
+// bytes and must not alias engine or module internals. A block that was
 // never written reads as an error (version 0 means "not present").
-func (e *Engine) ReadBlock(i int) ([]byte, error) {
+func (e *Engine) ReadBlockInto(i int, dst []byte) error {
 	if i < 0 || i >= e.layout.DataBlocks {
-		return nil, fmt.Errorf("mee: block index %d out of range [0,%d)", i, e.layout.DataBlocks)
+		return fmt.Errorf("mee: block index %d out of range [0,%d)", i, e.layout.DataBlocks)
+	}
+	if len(dst) < BlockSize {
+		return fmt.Errorf("mee: read destination of %d bytes, need %d", len(dst), BlockSize)
+	}
+	dst = dst[:BlockSize]
+	if err := e.commitWalk(); err != nil {
+		return err
 	}
 	b, slot := i/entriesPerL0, i%entriesPerL0
-	l0, err := e.fetchMeta(0, b)
-	if err != nil {
-		return nil, err
+	var l0 *cacheLine
+	if e.readPath.ok && e.readPath.b == b && e.readPath.gen == e.cache.gen && !e.noWalk {
+		// Sequential-walk reuse: the ancestor path verified for the
+		// previous block still covers this one and the cache is untouched
+		// since. Credit the lookup the slow path would have hit.
+		e.cache.credit(1)
+		l0 = e.readPath.line
+	} else {
+		var err error
+		l0, err = e.fetchMeta(0, b)
+		if err != nil {
+			return err
+		}
+		e.readPath = readWalk{ok: true, b: b, gen: e.cache.gen, line: l0}
 	}
 	version, wantMAC := l0Entry(l0.data[:], slot)
 	if version == 0 {
-		return nil, fmt.Errorf("mee: block %d never written", i)
+		return fmt.Errorf("mee: block %d never written", i)
 	}
 	// Copy the expected MAC out before any further cache activity.
 	var want [macSize]byte
 	copy(want[:], wantMAC)
-	ct, err := e.mem.Read(e.layout.dataAddr(i), BlockSize)
-	if err != nil {
-		return nil, err
+	if err := e.mem.ReadBlockInto(e.layout.dataAddr(i), e.ctBuf[:]); err != nil {
+		return err
 	}
 	e.stats.DataReads++
-	got := e.macData(ct, i, version)
+	got := e.macData(e.ctBuf[:], i, version)
 	if subtle.ConstantTimeCompare(got[:], want[:]) != 1 {
-		return nil, &IntegrityError{What: fmt.Sprintf("data MAC (block %d)", i), Addr: e.layout.dataAddr(i)}
+		return &IntegrityError{What: fmt.Sprintf("data MAC (block %d)", i), Addr: e.layout.dataAddr(i)}
 	}
-	return e.decrypt(ct, i, version), nil
+	e.xorKeyStream(dst, e.ctBuf[:], i, version)
+	return nil
+}
+
+// ReadBlock fetches, verifies, and decrypts data block i into a fresh
+// buffer. ReadBlockInto is the allocation-free variant.
+func (e *Engine) ReadBlock(i int) ([]byte, error) {
+	out := make([]byte, BlockSize)
+	if err := e.ReadBlockInto(i, out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // WriteRegion writes data starting at block 0, zero-padding the tail of the
@@ -401,47 +624,73 @@ func (e *Engine) WriteRegion(data []byte) error {
 	if need > e.layout.DataBlocks {
 		return fmt.Errorf("mee: %d bytes exceed region of %d blocks", len(data), e.layout.DataBlocks)
 	}
-	var buf [BlockSize]byte
 	for i := 0; i < need; i++ {
-		for j := range buf {
-			buf[j] = 0
+		chunk := data[i*BlockSize:]
+		if len(chunk) >= BlockSize {
+			if err := e.WriteBlock(i, chunk[:BlockSize]); err != nil {
+				return err
+			}
+			continue
 		}
-		copy(buf[:], data[i*BlockSize:])
-		if err := e.WriteBlock(i, buf[:]); err != nil {
+		for j := range e.padBuf {
+			e.padBuf[j] = 0
+		}
+		copy(e.padBuf[:], chunk)
+		if err := e.WriteBlock(i, e.padBuf[:]); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// ReadRegion reads n bytes starting at block 0.
+// ReadRegionInto reads n bytes starting at block 0 into the caller-provided
+// buffer, which must hold the full ceil(n/BlockSize) blocks. It returns
+// dst[:n] and performs no allocations.
+func (e *Engine) ReadRegionInto(dst []byte, n int) ([]byte, error) {
+	need := (n + BlockSize - 1) / BlockSize
+	if need > e.layout.DataBlocks {
+		return nil, fmt.Errorf("mee: %d bytes exceed region of %d blocks", n, e.layout.DataBlocks)
+	}
+	if len(dst) < need*BlockSize {
+		return nil, fmt.Errorf("mee: region read destination of %d bytes, need %d", len(dst), need*BlockSize)
+	}
+	for i := 0; i < need; i++ {
+		if err := e.ReadBlockInto(i, dst[i*BlockSize:(i+1)*BlockSize]); err != nil {
+			return nil, err
+		}
+	}
+	return dst[:n], nil
+}
+
+// ReadRegion reads n bytes starting at block 0 into a fresh buffer.
 func (e *Engine) ReadRegion(n int) ([]byte, error) {
 	need := (n + BlockSize - 1) / BlockSize
 	if need > e.layout.DataBlocks {
 		return nil, fmt.Errorf("mee: %d bytes exceed region of %d blocks", n, e.layout.DataBlocks)
 	}
-	out := make([]byte, 0, need*BlockSize)
-	for i := 0; i < need; i++ {
-		blk, err := e.ReadBlock(i)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, blk...)
-	}
-	return out[:n], nil
+	return e.ReadRegionInto(make([]byte, need*BlockSize), n)
 }
 
 // Flush writes back all dirty metadata. Call before removing engine power
 // (DRIPS entry): afterwards DRAM holds a complete, self-consistent image
 // rooted in the on-chip counter.
 func (e *Engine) Flush() error {
-	for _, ln := range e.cache.flushAll() {
-		if err := e.mem.Write(ln.addr, ln.data[:]); err != nil {
+	if err := e.commitWalk(); err != nil {
+		return err
+	}
+	// Materialize every deferred seal before the lines hit DRAM.
+	for i := range e.cache.lines {
+		if ln := &e.cache.lines[i]; ln.valid && ln.dirty {
+			e.sealLine(ln)
+		}
+	}
+	return e.cache.flushDirty(func(addr uint64, data []byte) error {
+		if err := e.mem.Write(addr, data); err != nil {
 			return err
 		}
 		e.stats.MetaWrites++
-	}
-	return nil
+		return nil
+	})
 }
 
 // format initializes all metadata blocks with zero versions/counters and

@@ -69,6 +69,18 @@ type Platform struct {
 	ctxHash     [32]byte
 	emram       []byte // ODRIPS-MRAM: on-chip non-volatile context store
 
+	// Precomputed per-cycle constants and pooled restore buffers. The
+	// context is immutable after New, so the split images, boot config,
+	// and PMU vector never change; restores verify into fixed buffers so
+	// the steady-state cycle path does not allocate.
+	saImage    []byte
+	cpImage    []byte
+	mcCfg      []byte
+	pmuVec     []byte
+	saBuf      []byte
+	cpBuf      []byte
+	restoreBuf []byte
+
 	// Chipset.
 	hub *chipset.Hub
 
@@ -265,6 +277,12 @@ func New(cfg Config) (*Platform, error) {
 	p.ctx = ctxstore.GenerateSkylake(cfg.Seed)
 	p.ctxImage = p.ctx.Serialize()
 	p.ctxHash = sha256.Sum256(p.ctxImage)
+	p.saImage = p.ctx.Subset(ctxstore.SASectionNames()).Serialize()
+	p.cpImage = p.ctx.Subset(ctxstore.ComputeSectionNames()).Serialize()
+	p.saBuf = make([]byte, len(p.saImage))
+	p.cpBuf = make([]byte, len(p.cpImage))
+	p.mcCfg = p.mcConfig()
+	p.pmuVec = p.pmuVector()
 	if cfg.Techniques.Has(CtxSGXDRAM) {
 		var err error
 		p.rr, err = sgx.NewRangeRegisters(memCfg.CapacityBytes, 128<<20)
@@ -272,6 +290,7 @@ func New(cfg Config) (*Platform, error) {
 			return nil, err
 		}
 		blocks := (len(p.ctxImage) + mee.BlockSize - 1) / mee.BlockSize
+		p.restoreBuf = make([]byte, blocks*mee.BlockSize)
 		layout, err := mee.PlanLayout(0, blocks)
 		if err != nil {
 			return nil, err

@@ -47,6 +47,10 @@ func (t *SRAMTarget) Save(image []byte) error {
 // Restore reads n bytes back from offset 0.
 func (t *SRAMTarget) Restore(n int) ([]byte, error) { return t.Array.Read(0, n) }
 
+// RestoreInto reads len(dst) bytes back from offset 0 into the caller's
+// buffer, allocating nothing.
+func (t *SRAMTarget) RestoreInto(dst []byte) error { return t.Array.ReadInto(0, dst) }
+
 // DRAMTarget moves a serialized context image through the MEE into the
 // protected DRAM region (the ODRIPS path, §6.2). Latency derives from the
 // real DRAM traffic the engine generated, so it inherits the MEE-cache and
@@ -74,6 +78,21 @@ func (t *DRAMTarget) Save(image []byte) (sim.Duration, error) {
 func (t *DRAMTarget) Restore(n int) ([]byte, sim.Duration, error) {
 	before := t.Engine.Stats()
 	data, err := t.Engine.ReadRegion(n)
+	if err != nil {
+		return nil, 0, err
+	}
+	after := t.Engine.Stats()
+	blocks := after.TotalBlocks() - before.TotalBlocks()
+	return data, t.Engine.Mem().TransferTime(int(blocks)*mee.BlockSize, false), nil
+}
+
+// RestoreInto reads and verifies n bytes from the protected region into
+// the caller's buffer, which must hold whole MEE blocks
+// (ceil(n/mee.BlockSize)*mee.BlockSize bytes). It returns dst[:n] and the
+// transfer latency, allocating nothing.
+func (t *DRAMTarget) RestoreInto(dst []byte, n int) ([]byte, sim.Duration, error) {
+	before := t.Engine.Stats()
+	data, err := t.Engine.ReadRegionInto(dst, n)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -154,3 +154,19 @@ func (a *Array) Read(offset, size int) ([]byte, error) {
 	copy(out, a.data[offset:])
 	return out, nil
 }
+
+// ReadInto copies len(dst) bytes at offset into dst without allocating,
+// under the same state and range rules as Read.
+func (a *Array) ReadInto(offset int, dst []byte) error {
+	if a.state != Active {
+		return fmt.Errorf("sram: %s: read in state %s", a.name, a.state)
+	}
+	if offset < 0 || offset+len(dst) > a.size {
+		return fmt.Errorf("sram: %s: read [%d,%d) out of range (size %d)", a.name, offset, offset+len(dst), a.size)
+	}
+	if !a.valid {
+		return fmt.Errorf("sram: %s: contents invalid (power was lost)", a.name)
+	}
+	copy(dst, a.data[offset:])
+	return nil
+}
