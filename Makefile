@@ -1,8 +1,9 @@
-GO      ?= go
-PKGS    := ./...
-STAMP   := $(shell date -u +%Y%m%dT%H%M%SZ)
+GO       ?= go
+PKGS     := ./...
+STAMP    := $(shell date -u +%Y%m%dT%H%M%SZ)
+FUZZTIME ?= 60s
 
-.PHONY: all build test vet lint race verify bench bench-smoke bench-sweep benchdiff clean
+.PHONY: all build test vet lint race verify fuzz bench bench-smoke bench-sweep benchdiff clean
 
 all: build test
 
@@ -28,6 +29,17 @@ race:
 # the race detector (the parallel sweep engine is exercised by every
 # experiment test). Mirrored by .github/workflows/ci.yml.
 verify: build vet lint race
+
+# Long-run every fuzz target for FUZZTIME each (go only allows one -fuzz
+# pattern per package invocation). Run nightly by
+# .github/workflows/nightly-fuzz.yml; set FUZZTIME=5s for a local smoke.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzImportState$$' -fuzztime $(FUZZTIME) ./internal/mee
+	$(GO) test -run '^$$' -fuzz '^FuzzReadAfterCorruption$$' -fuzztime $(FUZZTIME) ./internal/mee
+	$(GO) test -run '^$$' -fuzz '^FuzzReadInPlaceDifferential$$' -fuzztime $(FUZZTIME) ./internal/mee
+	$(GO) test -run '^$$' -fuzz '^FuzzDeserialize$$' -fuzztime $(FUZZTIME) ./internal/ctxstore
+	$(GO) test -run '^$$' -fuzz '^FuzzUnpackBootImage$$' -fuzztime $(FUZZTIME) ./internal/ctxstore
+	$(GO) test -run '^$$' -fuzz '^FuzzFaultPlan$$' -fuzztime $(FUZZTIME) ./internal/faults
 
 # Record the full benchmark suite (with allocation stats) to a timestamped
 # JSON artifact for before/after comparison. Written to a temp file and

@@ -26,7 +26,7 @@ import (
 
 func main() {
 	expFlag := flag.String("exp", "all",
-		"comma-separated experiments: table1,fig1b,fig2,fig3b,calibration,fig6a,fig6b,fig6c,fig6d,ctxlatency,validation,ablations,coalescing,scaling,standby,anatomy,aging,tdp,wakelatency")
+		"comma-separated experiments: table1,fig1b,fig2,fig3b,calibration,fig6a,fig6b,fig6c,fig6d,ctxlatency,validation,ablations,coalescing,scaling,standby,anatomy,aging,tdp,wakelatency,faultsweep (faultsweep is opt-in: not part of \"all\")")
 	sweepFlag := flag.String("sweep", "none", "break-even sweep: none, fast, or paper")
 	workers := flag.Int("workers", 0, "simulation worker pool size (0 = all cores, 1 = sequential)")
 	flag.Parse()
@@ -55,7 +55,10 @@ func main() {
 		want[strings.TrimSpace(e)] = true
 	}
 	all := want["all"]
-	selected := func(name string) bool { return all || want[name] }
+	// Opt-in experiments run only when named explicitly; "all" keeps its
+	// historical (byte-identical) output.
+	optIn := map[string]bool{"faultsweep": true}
+	selected := func(name string) bool { return (all && !optIn[name]) || want[name] }
 
 	type experiment struct {
 		name string
@@ -212,6 +215,14 @@ func main() {
 		}},
 		{"aging", func() error {
 			r, err := odrips.CalibrationAging()
+			if err != nil {
+				return err
+			}
+			r.Table().Render(os.Stdout)
+			return nil
+		}},
+		{"faultsweep", func() error {
+			r, err := odrips.FaultSweep()
 			if err != nil {
 				return err
 			}

@@ -7,6 +7,7 @@
 //	odrips-sim -config baseline -idle 30s -corefreq 1000
 //	odrips-sim -config odrips-pcm -cycles 5 -seed 7
 //	odrips-sim -config odrips -breakeven -workers 8
+//	odrips-sim -config odrips -faults "wake@1.3;meefail@2:1" -flows
 //
 // -breakeven runs the empirical residency sweep of the selected
 // configuration against the baseline, fanning sweep points across a
@@ -61,6 +62,7 @@ func main() {
 	generation := flag.String("generation", "skylake", "skylake or haswell (baseline DRIPS only)")
 	s3 := flag.Bool("s3", false, "run one ACPI S3 suspend/resume cycle instead of connected standby")
 	flows := flag.Bool("flows", false, "print the recorded entry/exit flow steps")
+	faultsFlag := flag.String("faults", "", "fault plan `kind@cycle[.step][:arg];...` (kinds: wake, wakex, meefail, bitflip, drift, fetglitch)")
 	traceFile := flag.String("workload", "", "CSV trace of cycles (active_ms,idle_ms,wake); overrides -cycles/-idle")
 	breakeven := flag.Bool("breakeven", false, "sweep the empirical break-even residency vs the baseline configuration")
 	workers := flag.Int("workers", 0, "simulation worker pool size for -breakeven (0 = all cores, 1 = sequential)")
@@ -105,6 +107,17 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "odrips-sim: %v\n", err)
 		os.Exit(1)
+	}
+	if *faultsFlag != "" {
+		plan, err := odrips.ParseFaultPlan(*faultsFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "odrips-sim: -faults: %v\n", err)
+			os.Exit(2)
+		}
+		if err := p.InjectFaults(plan); err != nil {
+			fmt.Fprintf(os.Stderr, "odrips-sim: -faults: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	if *s3 {
 		res, err := p.RunS3Cycle(odrips.Duration(idle.Nanoseconds()) * 1000)
@@ -161,6 +174,12 @@ func main() {
 	fmt.Printf("wake sources:         %v\n", res.WakeCounts)
 	fmt.Printf("transition energy:    %.1f uJ/cycle at %.2f mW idle\n",
 		res.CycleEnergy.TransitionUJ, res.CycleEnergy.IdleMW)
+	if *faultsFlag != "" {
+		fmt.Printf("faults:               %s\n", res.Faults.String())
+		if p.Degraded() {
+			fmt.Printf("                      context store degraded to retention SRAM\n")
+		}
+	}
 
 	if *flows {
 		fmt.Println("flow trace (most recent steps):")

@@ -318,6 +318,31 @@ func (m *Module) ReadBlockInto(addr uint64, dst []byte) error {
 	return nil
 }
 
+// CorruptBit flips a single stored bit — the fault-injection backdoor that
+// models a retention or disturb error while the module holds data. Unlike
+// Write it is legal in both Active and SelfRefresh (the two states in which
+// contents exist), generates no bus traffic, and bypasses the alignment
+// rules: addr is a byte address, bit selects the bit within that byte.
+// Flipping a bit in a never-written block materializes the block first
+// (zeros plus the flipped bit), exactly as a disturb error in scrubbed
+// memory would read back.
+func (m *Module) CorruptBit(addr uint64, bit uint) error {
+	if m.state != Active && m.state != SelfRefresh {
+		return fmt.Errorf("dram: corrupt in state %s (no contents)", m.state)
+	}
+	if addr >= m.cfg.CapacityBytes {
+		return fmt.Errorf("dram: corrupt at %#x beyond capacity %#x", addr, m.cfg.CapacityBytes)
+	}
+	base := addr - addr%BlockSize
+	blk, ok := m.blocks[base]
+	if !ok {
+		blk = make([]byte, BlockSize)
+		m.blocks[base] = blk
+	}
+	blk[addr-base] ^= 1 << (bit % 8)
+	return nil
+}
+
 // BlockView returns a zero-copy view of the block at addr, or nil if the
 // block was never written. It counts as one block of read traffic.
 //

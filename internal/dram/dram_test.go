@@ -397,3 +397,78 @@ func TestWriteUpdatesInPlace(t *testing.T) {
 		t.Fatal("rewrite allocated fresh storage instead of updating in place")
 	}
 }
+
+func TestCorruptBit(t *testing.T) {
+	m := New(Skylake8GB())
+	data := make([]byte, BlockSize)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := m.Write(0x1000, data); err != nil {
+		t.Fatal(err)
+	}
+	rBefore, wBefore := m.Stats()
+
+	// Legal in Active.
+	if err := m.CorruptBit(0x1000+5, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Legal in SelfRefresh; counts no traffic.
+	if err := m.SetState(SelfRefresh); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CorruptBit(0x1000+5, 3); err != nil {
+		t.Fatal(err)
+	}
+	if r, w := m.Stats(); r != rBefore || w != wBefore {
+		t.Fatalf("corruption generated traffic: %d,%d -> %d,%d", rBefore, wBefore, r, w)
+	}
+	// Double flip restored the original byte.
+	if err := m.SetState(Active); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Read(0x1000, BlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("double bit flip did not restore contents")
+	}
+	// Single flip changes exactly one bit.
+	if err := m.CorruptBit(0x1000, 7); err != nil {
+		t.Fatal(err)
+	}
+	got, err = m.Read(0x1000, BlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != data[0]^0x80 {
+		t.Fatalf("byte 0 = %#x, want %#x", got[0], data[0]^0x80)
+	}
+
+	// Never-written blocks materialize as zeros plus the flip.
+	if err := m.CorruptBit(0x8000+1, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err = m.Read(0x8000, BlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1] != 1 {
+		t.Fatalf("materialized block byte = %#x, want 0x01", got[1])
+	}
+
+	// Illegal without contents or beyond capacity.
+	if err := m.SetState(PoweredOff); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CorruptBit(0x1000, 0); err == nil {
+		t.Fatal("corrupt in PoweredOff accepted")
+	}
+	if err := m.SetState(Active); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CorruptBit(m.Config().CapacityBytes, 0); err == nil {
+		t.Fatal("corrupt beyond capacity accepted")
+	}
+}

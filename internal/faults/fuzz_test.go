@@ -1,0 +1,69 @@
+package faults
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzFaultPlan hardens the plan grammar: arbitrary strings — including
+// mutations of valid plans, which is what a mistyped -faults flag or a
+// corrupted sweep config hands the CLI — must produce a typed error or a
+// valid plan, never a panic. Accepted plans must survive the canonical
+// String/Parse round trip unchanged.
+func FuzzFaultPlan(f *testing.F) {
+	seeds := []string{
+		"",
+		";",
+		"wake@1.3",
+		"wakex@0.9",
+		"meefail@2:1",
+		"bitflip@0:123456",
+		"drift@1:-250000",
+		"fetglitch@4",
+		"wake@1.3; meefail@2:1 ;fetglitch@0",
+		"wake@1.3.5",
+		"meefail@@2",
+		"drift@1:999999999999999999999",
+		"wake@" + strings.Repeat("9", 40),
+		"bitflip@1:" + strings.Repeat("1", 40),
+		"wake@1.3;wake@1.3;wake@1.3",
+		"\x00@\x00",
+		"wake@é1.2",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Parse(s)
+		if err != nil {
+			// Every rejection must be one of the two typed errors so CLI
+			// callers can distinguish syntax from range problems.
+			var pe *ParseError
+			var ve *ValidationError
+			if !errors.As(err, &pe) && !errors.As(err, &ve) {
+				t.Fatalf("Parse(%q) returned untyped error %T: %v", s, err, err)
+			}
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Parse(%q) accepted an invalid plan: %v", s, err)
+		}
+		canon := p.String()
+		again, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("Parse(String(Parse(%q))) = %v", s, err)
+		}
+		if again.String() != canon {
+			t.Fatalf("canonical form unstable: %q -> %q", canon, again.String())
+		}
+		if len(again.Injections) != len(p.Injections) {
+			t.Fatalf("round trip changed injection count for %q", s)
+		}
+		for i := range p.Injections {
+			if p.Injections[i] != again.Injections[i] {
+				t.Fatalf("round trip changed injection %d of %q", i, s)
+			}
+		}
+	})
+}

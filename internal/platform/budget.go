@@ -75,6 +75,15 @@ type Budget struct {
 	ReinitCtx   sim.Duration
 	ReinitMRAM  sim.Duration
 
+	// Recovery-edge constants (fault plane, DESIGN.md §10). CtxRebuild is
+	// the OS context re-initialization charged when repeated restore
+	// verification failures force degradation to retention SRAM; a drift
+	// excursion beyond DriftRecalPPB detected by the exit flow's Step
+	// cross-check triggers a recalibration costing RecalWindow.
+	CtxRebuild    sim.Duration
+	DriftRecalPPB int64
+	RecalWindow   sim.Duration
+
 	// LLC flush model.
 	LLCBytes         int
 	LLCDirtyFraction float64
@@ -153,6 +162,10 @@ func Skylake() Budget {
 		ReinitAONIO: 20 * sim.Microsecond,
 		ReinitCtx:   10 * sim.Microsecond,
 		ReinitMRAM:  3 * sim.Microsecond,
+
+		CtxRebuild:    250 * sim.Microsecond,
+		DriftRecalPPB: 20_000,
+		RecalWindow:   500 * sim.Microsecond,
 
 		LLCBytes:         3 << 20,
 		LLCDirtyFraction: 0.10,

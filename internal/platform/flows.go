@@ -36,10 +36,19 @@ func (p *Platform) runSteps(flow string, steps []step, done func()) {
 		if p.err != nil {
 			return // a failed flow stops dead; RunCycles reports the error
 		}
+		if p.abortWake != nil && flow == "entry" {
+			// An injected wake arrived while the previous step ran: the
+			// flow unwinds at this step boundary instead of going deeper.
+			src := *p.abortWake
+			p.abortWake = nil
+			p.abortEntry(src)
+			return
+		}
 		if i >= len(steps) {
 			done()
 			return
 		}
+		p.injectAtStep(flow, i)
 		started := p.sched.Now()
 		startJ := p.meter.Snapshot().TotalBatteryJ()
 		steps[i].run(func() {
@@ -56,9 +65,10 @@ func (p *Platform) runSteps(flow string, steps []step, done func()) {
 	exec(0)
 }
 
-// FlowStep is one recorded stage of an entry or exit flow.
+// FlowStep is one recorded stage of an entry or exit flow, an abort
+// rollback, or a zero-duration fault-injection marker.
 type FlowStep struct {
-	Flow     string // "entry" or "exit"
+	Flow     string // "entry", "exit", "abort", or "fault"
 	Step     string
 	At       sim.Time
 	Duration sim.Duration
@@ -103,6 +113,22 @@ func (p *Platform) fail(format string, args ...any) {
 	if p.err == nil {
 		p.err = fmt.Errorf(format, args...)
 	}
+	// Drain the queue: a latched error must stop the run dead rather than
+	// leave orphaned events dispatching into half-torn-down hardware
+	// models. Held handles (armed wakes, tickers) go stale, as if each had
+	// been cancelled individually.
+	p.sched.Clear()
+}
+
+// mark wraps a step so the given milestone flips when the step completes.
+func mark(s step, m *bool) step {
+	run := s.run
+	return step{name: s.name, run: func(next func()) {
+		run(func() {
+			*m = true
+			next()
+		})
+	}}
 }
 
 // mcConfig serializes the minimal memory-controller bring-up state kept in
@@ -142,6 +168,10 @@ func (p *Platform) enterIdle(idleFor sim.Duration, plan wakePlan, done func()) {
 	p.applyPhase(phEntry)
 	p.hub.ResetWakeLatch()
 	entryStart := p.sched.Now()
+	p.entryM = entryMilestones{}
+	p.entryStartJ = p.meter.Snapshot().TotalBatteryJ()
+	p.wantAbort = false
+	p.abortWake = nil
 
 	bud := p.bud
 	var steps []step
@@ -154,15 +184,15 @@ func (p *Platform) enterIdle(idleFor sim.Duration, plan wakePlan, done func()) {
 	steps = append(steps, p.wait("flush-llc", p.mem.TransferTime(dirty, true)))
 
 	// (2) Compute-domain voltage regulators off.
-	steps = append(steps, p.wait("vr-compute-off", bud.VRComputeOff))
+	steps = append(steps, mark(p.wait("vr-compute-off", bud.VRComputeOff), &p.entryM.vrOff))
 
 	// (3) Context save: to protected DRAM (CTX-SGX-DRAM), to on-chip eMRAM
 	// (ODRIPS-MRAM), or to the retention SRAMs (baseline).
-	steps = append(steps, p.ctxSaveStep())
+	steps = append(steps, mark(p.ctxSaveStep(), &p.entryM.ctxSaved))
 
 	// (4) DRAM into self-refresh (CKE held low by the PMU AON domain;
 	// PCM needs neither refresh nor CKE).
-	steps = append(steps, step{name: "dram-self-refresh", run: func(next func()) {
+	steps = append(steps, mark(step{name: "dram-self-refresh", run: func(next func()) {
 		if p.mem.NonVolatile() {
 			p.mem.SetCKE(false)
 		}
@@ -171,7 +201,7 @@ func (p *Platform) enterIdle(idleFor sim.Duration, plan wakePlan, done func()) {
 			return
 		}
 		p.sched.After(bud.SelfRefreshEnter, "flow.self-refresh", next)
-	}})
+	}}, &p.entryM.selfRefresh))
 
 	// Hand-over windows run at trailer power: the platform is mostly down.
 	steps = append(steps, action("trailer", func() { p.applyPhase(phTrailer) }))
@@ -179,7 +209,7 @@ func (p *Platform) enterIdle(idleFor sim.Duration, plan wakePlan, done func()) {
 	if p.cfg.Techniques.Has(WakeUpOff) {
 		// (5) Timer migration over the PML, then hand-over to the slow
 		// timer at a 32.768 kHz edge (§4.1.2, Fig. 3(b)).
-		steps = append(steps, step{name: "timer-migrate", run: func(next func()) {
+		steps = append(steps, mark(step{name: "timer-migrate", run: func(next func()) {
 			v := p.mainTimer.Read()
 			p.mainTimer.Stop()
 			p.p2cContinue = next
@@ -190,10 +220,10 @@ func (p *Platform) enterIdle(idleFor sim.Duration, plan wakePlan, done func()) {
 			if err != nil {
 				p.fail("platform: timer migration: %v", err)
 			}
-		}})
+		}}, &p.entryM.timerMigrated))
 		// (6) Offload the AON IO functions and gate the rail (§5.2).
 		if p.cfg.Techniques.Has(AONIOGate) {
-			steps = append(steps, step{name: "gate-aon-ios", run: func(next func()) {
+			steps = append(steps, mark(step{name: "gate-aon-ios", run: func(next func()) {
 				if err := p.hub.MonitorThermal(p.xtal32); err != nil {
 					p.fail("platform: thermal offload: %v", err)
 					return
@@ -205,16 +235,27 @@ func (p *Platform) enterIdle(idleFor sim.Duration, plan wakePlan, done func()) {
 				p.meter.Set(p.cFET, p.fet.ResidualLeakageMW())
 				p.meter.Set(p.cVRAonIO, 0)
 				p.sched.After(bud.FETSlew, "flow.fet-slew", next)
-			}})
+			}}, &p.entryM.gatedIOs))
 		}
 		// (7) All 24 MHz consumers are gone: gate the processor clock
 		// domain and shut the crystal (§4.1.2).
-		steps = append(steps, action("shut-fast-clock", func() {
+		steps = append(steps, mark(action("shut-fast-clock", func() {
+			if !p.cfg.Techniques.Has(AONIOGate) {
+				// Without the AON-IO offload the thermal watch was never
+				// re-hosted; it must still follow the clock to the slow
+				// crystal, or an EC wake during idle samples a dead
+				// oscillator and is lost (found by the fault-plane
+				// property harness).
+				if err := p.hub.MonitorThermal(p.xtal32); err != nil {
+					p.fail("platform: thermal re-host: %v", err)
+					return
+				}
+			}
 			p.procDom.Gate()
 			if err := p.hub.ShutFastCrystal(); err != nil {
 				p.fail("platform: shut fast crystal: %v", err)
 			}
-		}))
+		}), &p.entryM.clockShut))
 	}
 
 	p.runSteps("entry", steps, func() {
@@ -228,6 +269,7 @@ func (p *Platform) enterIdle(idleFor sim.Duration, plan wakePlan, done func()) {
 		if d > p.flowStats.entryMax {
 			p.flowStats.entryMax = d
 		}
+		p.injectAtIdle()
 		p.armWake()
 		if pending := p.pendingWake; pending != nil {
 			// A wake raced the entry flow: leave immediately.
@@ -237,11 +279,12 @@ func (p *Platform) enterIdle(idleFor sim.Duration, plan wakePlan, done func()) {
 	})
 }
 
-// ctxSaveStep builds the context-save stage for the configured variant.
+// ctxSaveStep builds the context-save stage for the variant in force
+// (degradation demotes the off-chip variants to the retention SRAMs).
 func (p *Platform) ctxSaveStep() step {
 	bud := p.bud
 	switch {
-	case p.cfg.Techniques.Has(CtxSGXDRAM):
+	case p.effTech().Has(CtxSGXDRAM):
 		return step{name: "save-ctx-dram", run: func(next func()) {
 			tgt := &pmu.DRAMTarget{Engine: p.eng}
 			lat, err := tgt.Save(p.ctxImage)
@@ -270,7 +313,7 @@ func (p *Platform) ctxSaveStep() step {
 				next()
 			})
 		}}
-	case p.cfg.CtxInEMRAM:
+	case p.effEMRAM():
 		return step{name: "save-ctx-emram", run: func(next func()) {
 			p.emram = append(p.emram[:0], p.ctxImage...)
 			lat := sim.FromSeconds(float64(len(p.ctxImage)) / bud.EMRAMPortBW)
@@ -350,6 +393,28 @@ func (p *Platform) armWake() {
 	}
 }
 
+// restoreFastTimerStep is the shared exit/abort stage that brings the fast
+// crystal back and re-adopts counting at a 32 kHz edge. When AON-IO-GATE is
+// absent the thermal watch re-hosted to the slow crystal at entry (there is
+// no release-fet stage to undo it), so it moves back here.
+func (p *Platform) restoreFastTimerStep() step {
+	return step{name: "restore-fast-timer", run: func(next func()) {
+		err := p.hub.RestoreFastTimer(func(v uint64, _ sim.Time) {
+			p.restoredTimer = v
+			if !p.cfg.Techniques.Has(AONIOGate) {
+				if err := p.hub.MonitorThermal(p.xtal24); err != nil {
+					p.fail("platform: thermal re-host: %v", err)
+					return
+				}
+			}
+			next()
+		})
+		if err != nil {
+			p.fail("platform: restore fast timer: %v", err)
+		}
+	}}
+}
+
 // ---- Exit flow ----
 
 // onWake starts the exit flow. It is the hub's OnWake handler and also the
@@ -359,13 +424,22 @@ func (p *Platform) onWake(src chipset.WakeSource, _ sim.Time) {
 		return
 	}
 	if p.state == power.Entry {
-		// A wake event raced the entry flow. Aborting a half-torn-down
-		// platform is not possible in this design (nor in the paper's:
-		// the PMU sequences entry to completion); latch the event and
-		// exit immediately once resident.
+		if p.wantAbort {
+			// An injected wake armed the abortable-entry path: the
+			// in-flight step completes, then runSteps unwinds the flow
+			// from the deepest already-safe state.
+			p.wantAbort = false
+			src := src
+			p.abortWake = &src
+			return
+		}
+		// A wake event naturally raced the entry flow. The PMU sequences
+		// an uninstrumented entry to completion (as the paper's does);
+		// latch the event and exit immediately once resident.
 		p.pendingWake = &src
 		return
 	}
+	p.wantAbort = false // injected wake landed outside entry: plain wake
 	if p.state != power.Idle {
 		return
 	}
@@ -385,38 +459,21 @@ func (p *Platform) onWake(src chipset.WakeSource, _ sim.Time) {
 		reinit += bud.ReinitWake
 		// Crystal back on, counting handed back to the fast timer at a
 		// 32 kHz edge (§4.1.2 exit).
-		steps = append(steps, step{name: "restore-fast-timer", run: func(next func()) {
-			err := p.hub.RestoreFastTimer(func(v uint64, _ sim.Time) {
-				p.restoredTimer = v
-				next()
-			})
-			if err != nil {
-				p.fail("platform: restore fast timer: %v", err)
-			}
-		}})
+		steps = append(steps, p.restoreFastTimerStep())
 		if p.cfg.Techniques.Has(AONIOGate) {
 			reinit += bud.ReinitAONIO
-			steps = append(steps, step{name: "release-fet", run: func(next func()) {
-				if err := p.hub.ReleaseProcessorIOs(); err != nil {
-					p.fail("platform: FET release: %v", err)
-					return
-				}
-				p.meter.Set(p.cFET, 0)
-				p.meter.Set(p.cVRAonIO, bud.VRAonIOMW)
-				if err := p.hub.MonitorThermal(p.xtal24); err != nil {
-					p.fail("platform: thermal re-host: %v", err)
-					return
-				}
-				p.sched.After(bud.FETSlew, "flow.fet-slew", next)
-			}})
+			steps = append(steps, step{name: "release-fet", run: p.releaseFET})
 		}
 		// Timer value returns to the processor over the PML (§4.1.2). The
 		// chipset sends the live fast-timer register, not the value from
 		// the hand-over edge — intermediate waits (FET slew) have already
-		// elapsed on the fast clock.
+		// elapsed on the fast clock. Once the value lands, PMU firmware
+		// cross-checks the slow-timer interval against the restarted fast
+		// clock (driftCheck) — free and invisible unless the slow crystal
+		// drifted past the recalibration threshold.
 		steps = append(steps, step{name: "pml-timer-return", run: func(next func()) {
 			p.procDom.Ungate()
-			p.c2pContinue = next
+			p.c2pContinue = func() { p.driftCheck(next) }
 			err := p.linkC2P.Send(pml.Message{
 				Kind:  pml.TimerValue,
 				Value: p.linkC2P.CompensateTimer(p.hub.Unit().Now()),
@@ -435,9 +492,9 @@ func (p *Platform) onWake(src chipset.WakeSource, _ sim.Time) {
 	steps = append(steps, p.ctxRestoreSteps()...)
 
 	switch {
-	case p.cfg.Techniques.Has(CtxSGXDRAM):
+	case p.effTech().Has(CtxSGXDRAM):
 		reinit += bud.ReinitCtx
-	case p.cfg.CtxInEMRAM:
+	case p.effEMRAM():
 		reinit += bud.ReinitMRAM
 	}
 	if reinit > 0 {
@@ -488,7 +545,7 @@ func (p *Platform) ctxRestoreSteps() []step {
 	}}
 
 	switch {
-	case p.cfg.Techniques.Has(CtxSGXDRAM):
+	case p.effTech().Has(CtxSGXDRAM):
 		bootUp := step{name: "boot-fsm", run: func(next func()) {
 			p.bootSRAM.SetState(sram.Active)
 			boot, err := p.bootFSM.Restore()
@@ -509,44 +566,14 @@ func (p *Platform) ctxRestoreSteps() []step {
 			p.sched.After(p.bootFSM.Latency(), "flow.boot-fsm", next)
 		}}
 		restore := step{name: "restore-ctx-dram", run: func(next func()) {
-			tgt := &pmu.DRAMTarget{Engine: p.eng}
-			data, lat, err := tgt.RestoreInto(p.restoreBuf, len(p.ctxImage))
-			if err != nil {
-				p.fail("platform: context restore: %v", err)
-				return
-			}
-			if sha256.Sum256(data) != p.ctxHash {
-				p.fail("platform: restored context hash mismatch")
-				return
-			}
-			p.flowStats.ctxRestore = lat
-			p.flowStats.ctxVerified++
-			p.sched.After(lat, "flow.restore-ctx-dram", func() {
-				p.saSRAM.SetState(sram.Active)
-				p.computeSRAM.SetState(sram.Active)
-				p.meter.Set(p.cVRSram, bud.VRSramMW)
-				next()
-			})
+			p.restoreCtxDRAM(1, next)
 		}}
 		// Boot FSM first (it is what lets the exit flow reach DRAM).
 		return []step{bootUp, memUp, restore}
 
-	case p.cfg.CtxInEMRAM:
+	case p.effEMRAM():
 		restore := step{name: "restore-ctx-emram", run: func(next func()) {
-			if sha256.Sum256(p.emram) != p.ctxHash {
-				p.fail("platform: eMRAM context hash mismatch")
-				return
-			}
-			lat := sim.FromSeconds(float64(len(p.emram)) / bud.EMRAMPortBW)
-			p.flowStats.ctxRestore = lat
-			p.flowStats.ctxVerified++
-			p.sched.After(lat, "flow.restore-ctx-emram", func() {
-				p.saSRAM.SetState(sram.Active)
-				p.computeSRAM.SetState(sram.Active)
-				p.bootSRAM.SetState(sram.Active)
-				p.meter.Set(p.cVRSram, bud.VRSramMW)
-				next()
-			})
+			p.restoreCtxEMRAM(1, next)
 		}}
 		return []step{memUp, restore}
 

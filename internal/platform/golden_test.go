@@ -1,0 +1,195 @@
+package platform
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"odrips/internal/faults"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden flow traces")
+
+// formatTrace renders a flow trace one step per line; byte-stable because
+// every field derives from integer simulation state and the deterministic
+// meter (energy printed to fixed precision).
+func formatTrace(trace []FlowStep) string {
+	var b strings.Builder
+	for _, fs := range trace {
+		fmt.Fprintf(&b, "%-6s %-22s at=%-14s dur=%-12s energy=%.6fuJ\n",
+			fs.Flow, fs.Step, fs.At, fs.Duration, fs.EnergyUJ)
+	}
+	return b.String()
+}
+
+// diffTraces reports the first lines where two rendered traces disagree,
+// with surrounding context, so a golden failure reads as a step-level diff.
+func diffTraces(got, want string) string {
+	g := strings.Split(got, "\n")
+	w := strings.Split(want, "\n")
+	n := len(g)
+	if len(w) > n {
+		n = len(w)
+	}
+	var b strings.Builder
+	reported := 0
+	for i := 0; i < n && reported < 8; i++ {
+		var gl, wl string
+		if i < len(g) {
+			gl = g[i]
+		}
+		if i < len(w) {
+			wl = w[i]
+		}
+		if gl == wl {
+			continue
+		}
+		fmt.Fprintf(&b, "line %d:\n  got:  %s\n  want: %s\n", i+1, gl, wl)
+		reported++
+	}
+	if reported == 8 {
+		b.WriteString("(further differences elided)\n")
+	}
+	return b.String()
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update to create): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("trace differs from %s:\n%s", path, diffTraces(got, string(want)))
+	}
+}
+
+// goldenRun executes 3 cycles with the plan installed and returns the
+// rendered trace and the result.
+func goldenRun(t *testing.T, cfg Config, plan string) (string, Result) {
+	t.Helper()
+	p, res := runFaulted(t, cfg, plan, 3)
+	return formatTrace(p.FlowTrace()), res
+}
+
+// TestGoldenFaultFree pins the unfaulted ODRIPS and baseline traces; every
+// other golden in this file must reduce to these when its plan is removed.
+func TestGoldenFaultFree(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"clean-odrips":   ODRIPSConfig(),
+		"clean-baseline": DefaultConfig(),
+	} {
+		got, _ := goldenRun(t, cfg, "")
+		checkGolden(t, name, got)
+	}
+}
+
+// TestGoldenAbortAtEveryEntryStep pins the rollback sequence for a wake
+// injected at each step index of the ODRIPS entry flow. Early steps unwind
+// progressively deeper; wakes after the timer hand-over quantize to a
+// 32 kHz edge and may resolve as ordinary early wakes instead.
+func TestGoldenAbortAtEveryEntryStep(t *testing.T) {
+	for step := 0; step <= 8; step++ {
+		plan := faults.Plan{Injections: []faults.Injection{
+			{Kind: faults.WakeDuringEntry, Cycle: 1, Step: step},
+		}}
+		got, res := goldenRun(t, ODRIPSConfig(), plan.String())
+		if res.Faults.Fired != 1 {
+			t.Errorf("step %d: fired = %d, want 1", step, res.Faults.Fired)
+		}
+		checkGolden(t, fmt.Sprintf("abort-entry-step%d", step), got)
+	}
+}
+
+// TestGoldenAbortBaselineEntry pins the shallower baseline rollback (no
+// timer migration or FET gating to unwind).
+func TestGoldenAbortBaselineEntry(t *testing.T) {
+	for _, step := range []int{0, 3, 5} {
+		plan := faults.Plan{Injections: []faults.Injection{
+			{Kind: faults.WakeDuringEntry, Cycle: 1, Step: step},
+		}}
+		got, res := goldenRun(t, DefaultConfig(), plan.String())
+		if res.Faults.Fired != 1 {
+			t.Errorf("step %d: fired = %d, want 1", step, res.Faults.Fired)
+		}
+		checkGolden(t, fmt.Sprintf("abort-baseline-step%d", step), got)
+	}
+}
+
+// TestGoldenWakeAtEveryExitStep pins the absorbed-wake traces: the chipset
+// wake latch is already consumed during exit, so the flow is undisturbed
+// and only the marker distinguishes the trace.
+func TestGoldenWakeAtEveryExitStep(t *testing.T) {
+	for step := 0; step <= 9; step++ {
+		plan := faults.Plan{Injections: []faults.Injection{
+			{Kind: faults.WakeDuringExit, Cycle: 1, Step: step},
+		}}
+		got, res := goldenRun(t, ODRIPSConfig(), plan.String())
+		if res.Faults.Fired != 1 {
+			t.Errorf("step %d: fired = %d, want 1", step, res.Faults.Fired)
+		}
+		checkGolden(t, fmt.Sprintf("wakex-exit-step%d", step), got)
+	}
+}
+
+// TestGoldenRecoveryEdges pins one trace per recovery edge.
+func TestGoldenRecoveryEdges(t *testing.T) {
+	emram := ODRIPSConfig()
+	emram.Techniques &^= CtxSGXDRAM
+	emram.CtxInEMRAM = true
+	cases := []struct {
+		name string
+		cfg  Config
+		plan string
+	}{
+		{"meefail-transient", ODRIPSConfig(), "meefail@1"},
+		{"meefail-persistent", ODRIPSConfig(), "meefail@1:1"},
+		{"meefail-emram", emram, "meefail@1:1"},
+		{"bitflip-degrade", ODRIPSConfig(), "bitflip@1:12345"},
+		{"drift-recalibrate", ODRIPSConfig(), "drift@1:1000000"},
+		{"fetglitch-retry", ODRIPSConfig(), "fetglitch@1"},
+	}
+	for _, c := range cases {
+		got, res := goldenRun(t, c.cfg, c.plan)
+		if res.Faults.Fired != 1 {
+			t.Errorf("%s: fired = %d, want 1", c.name, res.Faults.Fired)
+		}
+		checkGolden(t, c.name, got)
+	}
+}
+
+// TestGoldenTracesAreFresh re-renders every golden scenario and requires
+// the second run to be byte-identical — the determinism the files pin is
+// only meaningful if a re-run reproduces them in-process too.
+func TestGoldenTracesAreFresh(t *testing.T) {
+	plan := "wake@1.3;meefail@2"
+	p1, _ := runFaulted(t, ODRIPSConfig(), plan, 3)
+	p2, _ := runFaulted(t, ODRIPSConfig(), plan, 3)
+	a, b := formatTrace(p1.FlowTrace()), formatTrace(p2.FlowTrace())
+	if a != b {
+		t.Fatalf("repeat render diverged:\n%s", diffTraces(a, b))
+	}
+}
+
+// Keep the ring-buffer cap out of golden territory: 3 cycles of the
+// busiest scenario must fit in the trace window, or the goldens would
+// silently pin a truncated prefix.
+func TestGoldenTracesFitTraceCap(t *testing.T) {
+	p, _ := runFaulted(t, ODRIPSConfig(), "wake@1.0;meefail@2:1", 3)
+	if n := len(p.FlowTrace()); n >= flowTraceCap {
+		t.Fatalf("trace hit the %d-step cap (%d steps): shorten golden runs", flowTraceCap, n)
+	}
+}

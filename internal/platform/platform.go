@@ -118,6 +118,27 @@ type Platform struct {
 	pendingWake   *chipset.WakeSource
 	quiesce       []func()
 	flowTrace     []FlowStep
+
+	// Fault plane (nil unless InjectFaults installed a plan) and the
+	// recovery-edge state it drives.
+	fplane      *faultPlane
+	cycleIdx    int             // 0-based cycle index within RunCycles
+	degraded    bool            // demoted to DRIPS-with-retention-SRAM
+	wantAbort   bool            // next entry-racing wake aborts instead of latching
+	abortWake   *chipset.WakeSource // abort requested; unwind at next step boundary
+	entryStartJ float64             // battery energy at entry start (abort accounting)
+	entryM      entryMilestones
+}
+
+// entryMilestones tracks which entry stages completed, so an abort unwinds
+// exactly the deepest already-safe state.
+type entryMilestones struct {
+	vrOff         bool
+	ctxSaved      bool
+	selfRefresh   bool
+	timerMigrated bool
+	gatedIOs      bool
+	clockShut     bool
 }
 
 type flowStats struct {
@@ -364,7 +385,7 @@ func (p *Platform) deriveActiveDraws() {
 func (p *Platform) applyPhase(ph phase) {
 	bud := p.bud
 	m := p.meter
-	idleTech := p.cfg.Techniques
+	idleTech := p.effTech()
 
 	switch ph {
 	case phActive:
@@ -411,7 +432,7 @@ func (p *Platform) applyPhase(ph phase) {
 		switch {
 		case idleTech == ODRIPS && p.cfg.MainMemory == dram.PCM:
 			m.Set(p.cPMU, bud.PMUAonGatedPCMMW)
-		case idleTech == ODRIPS || (idleTech.Has(WakeUpOff|AONIOGate) && p.cfg.CtxInEMRAM):
+		case idleTech == ODRIPS || (idleTech.Has(WakeUpOff|AONIOGate) && p.effEMRAM()):
 			m.Set(p.cPMU, bud.PMUAonGatedMW)
 		default:
 			m.Set(p.cPMU, bud.PMUAonIdleMW)

@@ -52,6 +52,10 @@ type Result struct {
 	// CycleEnergy feeds the break-even analysis: average transition
 	// (entry+exit) battery energy per cycle and idle-state battery power.
 	CycleEnergy power.CycleEnergy
+
+	// Faults reports the injection plane's accounting for the run. Zero
+	// when no fault plan is installed.
+	Faults FaultStats
 }
 
 // IdlePowerMW returns the average battery power in the idle state.
@@ -77,6 +81,7 @@ func (p *Platform) RunCycles(cycles []workload.Cycle) (Result, error) {
 			return
 		}
 		c := cycles[idx]
+		p.cycleIdx = idx
 		idx++
 		p.runCycle(c, startCycle)
 	}
@@ -190,6 +195,9 @@ func (p *Platform) buildResult(start sim.Time, cycles int) Result {
 		r.ShallowIdles[name] = n
 	}
 	r.TimerDriftPPB = p.timerDriftPPB()
+	if p.fplane != nil {
+		r.Faults = p.fplane.stats
+	}
 
 	transJ := p.tracker.energyJ[power.Entry] + p.tracker.energyJ[power.Exit]
 	if cycles > 0 {

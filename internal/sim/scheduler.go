@@ -171,6 +171,22 @@ func (s *Scheduler) Cancel(e Event) {
 	s.freeSlot(e.slot)
 }
 
+// Clear cancels every pending event in one sweep, leaving the clock where
+// it is, and returns how many events were dropped. Each slot is recycled
+// exactly as an individual Cancel would, so any handle still held goes
+// stale (its generation miscompares) rather than observing a reused slot.
+// The platform drains the queue this way after a latched flow error: a
+// failed run must stop dead instead of keeping half-torn-down hardware
+// models dispatching into each other.
+func (s *Scheduler) Clear() int {
+	n := len(s.heap)
+	for _, e := range s.heap {
+		s.freeSlot(e.slot)
+	}
+	s.heap = s.heap[:0]
+	return n
+}
+
 // dispatch pops the earliest entry, frees its slot, and runs the callback.
 // The slot is recycled before fn runs; the generation bump keeps any handle
 // the callback still holds safely stale.

@@ -368,3 +368,59 @@ func BenchmarkSchedulerChurn(b *testing.B) {
 		s.Step()
 	}
 }
+
+func TestClearDropsAllPendingEvents(t *testing.T) {
+	s := NewScheduler()
+	ran := 0
+	//odrips:allow handle the test holds handles across Clear precisely to assert they go stale
+	var held []Event
+	for i := 1; i <= 5; i++ {
+		held = append(held, s.After(Duration(i)*Microsecond, "x", func() { ran++ }))
+	}
+	tk := s.Every(s.Now().Add(Microsecond), Microsecond, "tick", func(Time) { ran++ })
+	if n := s.Pending(); n != 6 {
+		t.Fatalf("pending = %d, want 6", n)
+	}
+	if n := s.Clear(); n != 6 {
+		t.Fatalf("Clear dropped %d events, want 6", n)
+	}
+	if n := s.Pending(); n != 0 {
+		t.Fatalf("pending after Clear = %d, want 0", n)
+	}
+	for i, e := range held {
+		if e.Pending() {
+			t.Fatalf("handle %d still pending after Clear", i)
+		}
+		if e.When() != 0 || e.Name() != "" {
+			t.Fatalf("handle %d not stale after Clear", i)
+		}
+	}
+	s.Run()
+	if ran != 0 {
+		t.Fatalf("%d cleared events ran", ran)
+	}
+	tk.Stop() // stale handle inside; must be a no-op
+
+	// The scheduler stays fully usable: slots recycle through the free list.
+	fired := false
+	s.After(Microsecond, "after-clear", func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Fatal("event scheduled after Clear did not run")
+	}
+}
+
+func TestClearFromCallback(t *testing.T) {
+	s := NewScheduler()
+	ran := 0
+	s.After(Microsecond, "clearer", func() { s.Clear() })
+	s.After(2*Microsecond, "victim", func() { ran++ })
+	s.After(3*Microsecond, "victim", func() { ran++ })
+	s.Run()
+	if ran != 0 {
+		t.Fatalf("%d events ran after an in-callback Clear", ran)
+	}
+	if s.Pending() != 0 {
+		t.Fatal("queue not empty after in-callback Clear")
+	}
+}
