@@ -3,7 +3,7 @@ PKGS     := ./...
 STAMP    := $(shell date -u +%Y%m%dT%H%M%SZ)
 FUZZTIME ?= 60s
 
-.PHONY: all build test vet lint race verify fuzz bench bench-smoke bench-sweep benchdiff clean
+.PHONY: all build test vet lint race verify fuzz bench bench-smoke bench-sweep bench-baseline-1x bench-gate benchdiff profile clean
 
 all: build test
 
@@ -54,9 +54,48 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x $(PKGS)
 
+# The committed single-iteration baseline the CI regression gate diffs
+# against. It must be recorded at -benchtime 1x like the gate run itself:
+# one iteration pays setup and memo-warmup costs that longer runs amortize
+# away, so 1x numbers only compare against 1x numbers. GOMAXPROCS is
+# pinned for both because the parallel sweep pools size themselves off the
+# core count, and with them the allocation counts. Refresh with
+# `make bench-baseline-1x` and commit the artifact.
+BASELINE_1X ?= BENCH_baseline_1x.json
+GATEPROCS   := 4
+
+bench-baseline-1x:
+	GOMAXPROCS=$(GATEPROCS) $(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -json $(PKGS) > $(BASELINE_1X).tmp || { rm -f $(BASELINE_1X).tmp; exit 1; }
+	mv $(BASELINE_1X).tmp $(BASELINE_1X)
+	@echo wrote $(BASELINE_1X)
+
+# CI regression gate: record a one-iteration artifact and diff it against
+# the committed 1x baseline. A single iteration is not steady state — its
+# timing is mostly jitter and its alloc count includes one-time warmup
+# (goroutine stack growth in worker pools, lazy tables) that varies by a
+# few allocations run to run — so both gates are tripwires for gross
+# regressions, not the contract: time +100% and +100ms (a fast-forward
+# engine that stopped engaging), allocs +1% and +8 (a per-cycle or
+# per-block allocation leak multiplies across a run's cycles, clearing
+# the floor easily). The zero-allocation datapath contract itself is
+# enforced by the tight zero-slack default gate of `make benchdiff`
+# between two full `make bench` artifacts.
+bench-gate:
+	GOMAXPROCS=$(GATEPROCS) $(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -json $(PKGS) > BENCH_ci.json.tmp || { rm -f BENCH_ci.json.tmp; exit 1; }
+	$(GO) run ./cmd/odrips-benchdiff -ns-tolerance 1.0 -ns-floor 1e8 -allocs-slack 0.01 -allocs-floor 8 $(BASELINE_1X) BENCH_ci.json.tmp
+	@rm -f BENCH_ci.json.tmp
+
 # Just the heavyweight sweep benchmark, one iteration.
 bench-sweep:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig6aSweep|BenchmarkSchedulerChurn' -benchmem -benchtime 1x .
+
+# CPU and allocation profiles of a six-hour ODRIPS standby run; inspect
+# with `go tool pprof cpu.pprof`. FF=off profiles the full simulation path,
+# FF=on (default) profiles the memoized fast-forward path.
+FF ?= on
+profile:
+	$(GO) run ./cmd/odrips-sim -config odrips -cycles 720 -fastforward $(FF) -cpuprofile cpu.pprof -memprofile mem.pprof > /dev/null
+	@echo wrote cpu.pprof mem.pprof
 
 # Compare two bench artifacts: make benchdiff OLD=BENCH_a.json NEW=BENCH_b.json
 # Fails on >10% ns/op growth or any allocs/op growth.

@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"odrips"
+	"odrips/internal/prof"
 )
 
 func main() {
@@ -29,6 +30,9 @@ func main() {
 		"comma-separated experiments: table1,fig1b,fig2,fig3b,calibration,fig6a,fig6b,fig6c,fig6d,ctxlatency,validation,ablations,coalescing,scaling,standby,anatomy,aging,tdp,wakelatency,faultsweep (faultsweep is opt-in: not part of \"all\")")
 	sweepFlag := flag.String("sweep", "none", "break-even sweep: none, fast, or paper")
 	workers := flag.Int("workers", 0, "simulation worker pool size (0 = all cores, 1 = sequential)")
+	ffFlag := flag.String("fastforward", "on", "steady-state fast-forward: on, off, or verify (output is byte-identical across all three)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to `file`")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to `file`")
 	flag.Parse()
 
 	if *workers < 0 {
@@ -36,6 +40,17 @@ func main() {
 		os.Exit(2)
 	}
 	odrips.SetDefaultWorkers(*workers)
+	ffMode, err := odrips.ParseFFMode(*ffFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "odrips-bench: %v\n", err)
+		os.Exit(2)
+	}
+	odrips.SetDefaultFastForward(ffMode)
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "odrips-bench: %v\n", err)
+		os.Exit(2)
+	}
 
 	var sweep odrips.SweepOptions
 	switch *sweepFlag {
@@ -276,5 +291,9 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintln(os.Stderr, "odrips-bench: nothing selected")
 		os.Exit(2)
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintf(os.Stderr, "odrips-bench: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"odrips/internal/dram"
 	"odrips/internal/platform"
 	"odrips/internal/power"
+	"odrips/internal/prof"
 	"odrips/internal/workload"
 )
 
@@ -66,6 +67,9 @@ func main() {
 	traceFile := flag.String("workload", "", "CSV trace of cycles (active_ms,idle_ms,wake); overrides -cycles/-idle")
 	breakeven := flag.Bool("breakeven", false, "sweep the empirical break-even residency vs the baseline configuration")
 	workers := flag.Int("workers", 0, "simulation worker pool size for -breakeven (0 = all cores, 1 = sequential)")
+	ffFlag := flag.String("fastforward", "on", "steady-state fast-forward: on, off, or verify (output is byte-identical across all three)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to `file`")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to `file`")
 	flag.Parse()
 
 	cfg, err := configByName(*name)
@@ -73,6 +77,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "odrips-sim: %v\n", err)
 		os.Exit(2)
 	}
+	ffMode, err := odrips.ParseFFMode(*ffFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "odrips-sim: %v\n", err)
+		os.Exit(2)
+	}
+	odrips.SetDefaultFastForward(ffMode)
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "odrips-sim: %v\n", err)
+		os.Exit(2)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "odrips-sim: %v\n", err)
+		}
+	}()
 	cfg.CoreFreqMHz = *coreFreq
 	cfg.DRAMMTps = *dramRate
 	cfg.Seed = *seed

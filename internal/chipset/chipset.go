@@ -95,6 +95,20 @@ func (h *Hub) Calibration() *timer.CalibrationResult { return h.calibration }
 // Hosting reports whether the chipset currently owns timekeeping.
 func (h *Hub) Hosting() bool { return h.hosting }
 
+// WakeFired reports whether the wake latch is set (a wake was delivered
+// and ResetWakeLatch has not run since).
+func (h *Hub) WakeFired() bool { return h.wakeFired }
+
+// ReplayAddWakes bulk-advances a wake-source counter by n, standing in
+// for n fireWake calls whose cycles the platform replayed. Only the
+// statistics move; the latch and wake callback are untouched (the replay
+// window contains complete cycles, which end with the latch reset).
+func (h *Hub) ReplayAddWakes(src WakeSource, n uint64) { h.wakes[src] += n }
+
+// GPIOPins returns the chipset's claimed GPIO pins sorted by name, for
+// the platform fast-forward fingerprint.
+func (h *Hub) GPIOPins() []*gpio.Pin { return h.bank.Pins() }
+
 // WakeCounts returns per-source wake statistics.
 func (h *Hub) WakeCounts() map[WakeSource]uint64 {
 	out := make(map[WakeSource]uint64, len(h.wakes))

@@ -210,6 +210,33 @@ func (o *Oscillator) edgesUpTo(t sim.Time) uint64 {
 	return d.Uint64() + 1
 }
 
+// PhaseFingerprint returns the oscillator's exact phase residue at t for
+// the platform fast-forward fingerprint (DESIGN.md §12): the numerator of
+// the fractional edge position, ((t-stableAt) * denom) mod 1e21, split
+// into two uint64 words. Two on, stable oscillators with equal ppb and
+// equal residues produce identical edge grids relative to t, so every
+// future edge offset is identical — which is what makes an
+// absolute-time-free fingerprint sound. neg reports t before stableAt
+// (the residue is then of stableAt-t).
+func (o *Oscillator) PhaseFingerprint(t sim.Time) (hi, lo uint64, neg bool) {
+	d := t.Sub(o.stableAt)
+	if d < 0 {
+		d, neg = -d, true
+	}
+	n := new(big.Int).SetInt64(int64(d))
+	n.Mul(n, o.denom)
+	n.Mod(n, psPerSecondTimesBillion)
+	lo = n.Uint64()
+	hi = n.Rsh(n, 64).Uint64()
+	return hi, lo, neg
+}
+
+// ReplayRebase re-anchors the edge grid at stableAt, for whole-cycle
+// replays where the power cycling that would have re-derived the anchor
+// was skipped. The caller guarantees the rebased grid is the one the
+// skipped cycles would have produced.
+func (o *Oscillator) ReplayRebase(stableAt sim.Time) { o.stableAt = stableAt }
+
 // ScheduleEdge schedules fn at the first rising edge at or after the
 // current instant and returns the event, or an invalid (zero) event if the
 // oscillator is off. This is how firmware flows "wait for the rising edge"

@@ -1,0 +1,233 @@
+// This external test package exercises the public odrips API (legal even
+// though odrips imports experiments: external test packages may import
+// their importers). It deliberately does not live in the root package:
+// adding test code there shifts the root bench binary's code layout, which
+// measurably skews the rand-bound microbenchmarks it hosts.
+package experiments_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"odrips"
+)
+
+// renderAllExperiments regenerates the full `odrips-bench -exp all` output
+// (plus the opt-in fault sweep) under the given fast-forward mode, with
+// cold point caches so no measurement leaks between modes.
+func renderAllExperiments(t *testing.T, mode odrips.FFMode) []byte {
+	t.Helper()
+	odrips.SetDefaultFastForward(mode)
+	odrips.ResetPointCache()
+	var buf bytes.Buffer
+	sweep := odrips.DefaultSweep()
+
+	run := func(name string, fn func() error) {
+		if err := fn(); err != nil {
+			t.Fatalf("%s at -fastforward=%v: %v", name, mode, err)
+		}
+	}
+	run("table1", func() error { odrips.Table1().Render(&buf); return nil })
+	run("fig1b", func() error {
+		r, err := odrips.Fig1b()
+		if err != nil {
+			return err
+		}
+		r.Table().Render(&buf)
+		return nil
+	})
+	run("fig2", func() error {
+		r, err := odrips.Fig2()
+		if err != nil {
+			return err
+		}
+		r.Table().Render(&buf)
+		return nil
+	})
+	run("fig3b", func() error {
+		r, err := odrips.Fig3b()
+		if err != nil {
+			return err
+		}
+		r.Table().Render(&buf)
+		return nil
+	})
+	run("calibration", func() error {
+		r, err := odrips.Calibration()
+		if err != nil {
+			return err
+		}
+		r.Table().Render(&buf)
+		return nil
+	})
+	run("fig6a", func() error {
+		r, err := odrips.Fig6a(sweep)
+		if err != nil {
+			return err
+		}
+		r.Table().Render(&buf)
+		r.Chart().Render(&buf)
+		return nil
+	})
+	run("fig6b", func() error {
+		r, err := odrips.Fig6b()
+		if err != nil {
+			return err
+		}
+		r.Table().Render(&buf)
+		return nil
+	})
+	run("fig6c", func() error {
+		r, err := odrips.Fig6c()
+		if err != nil {
+			return err
+		}
+		r.Table().Render(&buf)
+		return nil
+	})
+	run("fig6d", func() error {
+		r, err := odrips.Fig6d(sweep)
+		if err != nil {
+			return err
+		}
+		r.Table().Render(&buf)
+		return nil
+	})
+	run("ctxlatency", func() error {
+		r, err := odrips.CtxLatency()
+		if err != nil {
+			return err
+		}
+		r.Table().Render(&buf)
+		return nil
+	})
+	run("validation", func() error {
+		r, err := odrips.ModelValidation()
+		if err != nil {
+			return err
+		}
+		r.Table().Render(&buf)
+		return nil
+	})
+	run("ablations", func() error {
+		mc, err := odrips.AblationMEECache()
+		if err != nil {
+			return err
+		}
+		mc.Table().Render(&buf)
+		ta, err := odrips.AblationTimerAlternatives()
+		if err != nil {
+			return err
+		}
+		ta.Table().Render(&buf)
+		gg, err := odrips.AblationIOGate()
+		if err != nil {
+			return err
+		}
+		gg.Table().Render(&buf)
+		rs, err := odrips.AblationReinitSensitivity()
+		if err != nil {
+			return err
+		}
+		rs.Table().Render(&buf)
+		return nil
+	})
+	run("coalescing", func() error {
+		r, err := odrips.WakeCoalescing()
+		if err != nil {
+			return err
+		}
+		r.Table().Render(&buf)
+		return nil
+	})
+	run("scaling", func() error {
+		r, err := odrips.ProcessScaling()
+		if err != nil {
+			return err
+		}
+		r.Table().Render(&buf)
+		return nil
+	})
+	run("standby", func() error {
+		r, err := odrips.Standby()
+		if err != nil {
+			return err
+		}
+		r.Table().Render(&buf)
+		return nil
+	})
+	run("anatomy", func() error {
+		for _, tech := range []odrips.Technique{0, odrips.ODRIPS} {
+			r, err := odrips.TransitionAnatomy(tech)
+			if err != nil {
+				return err
+			}
+			r.Table(fmt.Sprintf("tech=%d", tech)).Render(&buf)
+		}
+		return nil
+	})
+	run("aging", func() error {
+		r, err := odrips.CalibrationAging()
+		if err != nil {
+			return err
+		}
+		r.Table().Render(&buf)
+		return nil
+	})
+	run("tdp", func() error {
+		r, err := odrips.TDPSensitivity()
+		if err != nil {
+			return err
+		}
+		r.Table().Render(&buf)
+		return nil
+	})
+	run("wakelatency", func() error {
+		r, err := odrips.WakeLatency()
+		if err != nil {
+			return err
+		}
+		r.Table().Render(&buf)
+		return nil
+	})
+	run("faultsweep", func() error {
+		r, err := odrips.FaultSweep()
+		if err != nil {
+			return err
+		}
+		r.Table().Render(&buf)
+		return nil
+	})
+	return buf.Bytes()
+}
+
+// TestExpAllByteIdenticalAcrossFastForward is the acceptance criterion:
+// the full experiment set renders byte-identically with the fast-forward
+// engine on and off, and passes in verify mode (which re-simulates every
+// memoized cycle and fails the run on any divergence).
+func TestExpAllByteIdenticalAcrossFastForward(t *testing.T) {
+	t.Cleanup(func() {
+		odrips.SetDefaultFastForward(odrips.FFOn)
+		odrips.ResetPointCache()
+	})
+	off := renderAllExperiments(t, odrips.FFOff)
+	on := renderAllExperiments(t, odrips.FFOn)
+	if !bytes.Equal(off, on) {
+		line := 1
+		for i := range off {
+			if i >= len(on) || off[i] != on[i] {
+				break
+			}
+			if off[i] == '\n' {
+				line++
+			}
+		}
+		t.Fatalf("-exp all output diverged between -fastforward=off and on (first difference near line %d; %d vs %d bytes)",
+			line, len(off), len(on))
+	}
+	verify := renderAllExperiments(t, odrips.FFVerify)
+	if !bytes.Equal(off, verify) {
+		t.Fatalf("-exp all output diverged in -fastforward=verify (%d vs %d bytes)", len(off), len(verify))
+	}
+}

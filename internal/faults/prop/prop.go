@@ -116,6 +116,27 @@ func Run(c Case, plan faults.Plan) (Outcome, error) {
 	return Outcome{Result: res, Trace: p.FlowTrace(), Degraded: p.Degraded()}, nil
 }
 
+// RunMode executes the case with the plan installed and an explicit
+// fast-forward mode — the two sides of the fast-forward metamorphic
+// invariant (results must be byte-identical at every mode).
+func RunMode(c Case, plan faults.Plan, mode platform.FFMode) (Outcome, error) {
+	p, err := platform.New(c.Config)
+	if err != nil {
+		return Outcome{}, err
+	}
+	if err := p.SetFastForward(mode); err != nil {
+		return Outcome{}, err
+	}
+	if err := p.InjectFaults(plan); err != nil {
+		return Outcome{}, err
+	}
+	res, err := p.RunCycles(c.Cycles)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return Outcome{Result: res, Trace: p.FlowTrace(), Degraded: p.Degraded()}, nil
+}
+
 // RunBare executes the case with no fault plane installed at all — the
 // reference side of the empty-plan-is-inert invariant.
 func RunBare(c Case) (Outcome, error) {

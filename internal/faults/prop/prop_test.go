@@ -3,6 +3,7 @@ package prop
 import (
 	"flag"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"odrips/internal/faults"
@@ -96,6 +97,32 @@ func TestShrinkFindsMinimalPlan(t *testing.T) {
 	min := Shrink(c, check)
 	if got := min.Plan.String(); got != "meefail@1:1" {
 		t.Fatalf("shrunk plan = %q, want %q", got, "meefail@1:1")
+	}
+}
+
+// TestFastForwardMetamorphic is the fast-forward metamorphic invariant:
+// for generated faulted cases, the run is byte-identical with the cycle
+// memo on, off, and in verify mode (verify additionally re-simulates and
+// diffs every memoized cycle, so a pass is a machine-checked soundness
+// certificate for the case).
+func TestFastForwardMetamorphic(t *testing.T) {
+	rng := rand.New(rand.NewSource(*propSeed + 3))
+	for i := 0; i < 30; i++ {
+		c := Generate(rng)
+		off, err := RunMode(c, c.Plan, platform.FFOff)
+		if err != nil {
+			t.Fatalf("case %d (%s) off: %v", i, c, err)
+		}
+		for _, mode := range []platform.FFMode{platform.FFOn, platform.FFVerify} {
+			got, err := RunMode(c, c.Plan, mode)
+			if err != nil {
+				t.Fatalf("case %d (%s) %v: %v", i, c, mode, err)
+			}
+			if !reflect.DeepEqual(off, got) {
+				t.Fatalf("case %d (%s) diverged at -fastforward=%v:\noff: %+v\ngot: %+v",
+					i, c, mode, off.Result, got.Result)
+			}
+		}
 	}
 }
 

@@ -14,6 +14,7 @@ package gpio
 
 import (
 	"fmt"
+	"sort"
 
 	"odrips/internal/clock"
 	"odrips/internal/sim"
@@ -71,6 +72,29 @@ func (b *Bank) Claim(name string, mode Mode) *Pin {
 
 // Lookup returns a claimed pin or nil.
 func (b *Bank) Lookup(name string) *Pin { return b.pins[name] }
+
+// Pins returns every claimed pin sorted by name.
+func (b *Bank) Pins() []*Pin {
+	out := make([]*Pin, 0, len(b.pins))
+	for _, p := range b.pins {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// FastForwardState exports the pin's behavior-relevant mutable state for
+// the platform fast-forward fingerprint (DESIGN.md §12): everything that
+// determines how the pin reacts to future drives and samples. The sampler
+// is identified by oscillator name ("" when unwatched). The edge/drive
+// statistics counters are deliberately not part of this: they are
+// diagnostics with no behavioral feedback.
+func (p *Pin) FastForwardState() (mode Mode, level, pending, havePending, watched, samplePending bool, sampler string) {
+	if p.sampler != nil {
+		sampler = p.sampler.Name()
+	}
+	return p.mode, p.level, p.pending, p.havePending, p.onEdge != nil, p.sampleEvent.Pending(), sampler
+}
 
 // Name returns the pin name.
 func (p *Pin) Name() string { return p.name }

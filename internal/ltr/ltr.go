@@ -83,6 +83,29 @@ func (t *Table) SetTimer(owner string, deadline sim.Time) error {
 // ClearTimer removes a named timer.
 func (t *Table) ClearTimer(owner string) { delete(t.timers, owner) }
 
+// Timer is one named deadline, as exported by Timers.
+type Timer struct {
+	Owner    string
+	Deadline sim.Time
+}
+
+// Timers returns every armed timer sorted by owner. The platform
+// fast-forward engine fingerprints the deadlines (relative to now) and
+// rebuilds them after a replayed window.
+func (t *Table) Timers() []Timer {
+	out := make([]Timer, 0, len(t.timers))
+	for o, dl := range t.timers {
+		out = append(out, Timer{Owner: o, Deadline: dl})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Owner < out[j].Owner })
+	return out
+}
+
+// ReplaySetTimer re-arms a timer to the deadline a replayed cycle would
+// have left, bypassing the not-in-the-past check: a consumed deadline
+// legitimately sits in the past until the owner re-arms it.
+func (t *Table) ReplaySetTimer(owner string, deadline sim.Time) { t.timers[owner] = deadline }
+
 // NextTimerEvent returns the earliest scheduled deadline, or ok=false.
 // Deadlines already in the past (missed while busy) report as "now".
 func (t *Table) NextTimerEvent() (sim.Time, bool) {

@@ -346,8 +346,8 @@ func (p *Platform) abortEntry(src chipset.WakeSource) {
 		p.state = power.Active
 		p.tracker.to(power.Active)
 		p.applyPhase(phActive)
-		wasted := p.meter.Snapshot().TotalBatteryJ() - p.entryStartJ
-		fp.stats.AbortWastedUJ += wasted * 1e6
+		wasted := p.meter.TotalBattery().Sub(p.entryStartE)
+		fp.stats.AbortWastedUJ += wasted.Joules() * 1e6
 		p.inFlow = false
 		done := p.cycleDone
 		p.cycleDone = nil
@@ -389,14 +389,8 @@ func (p *Platform) releaseFET(next func()) {
 // edge instead of a latched error).
 func (p *Platform) restoreCtxDRAM(attempt int, next func()) {
 	bud := p.bud
-	tgt := &pmu.DRAMTarget{Engine: p.eng}
-	before := p.eng.Stats()
-	data, lat, err := tgt.RestoreInto(p.restoreBuf, len(p.ctxImage))
-	if err == nil && sha256.Sum256(data) != p.ctxHash {
-		err = fmt.Errorf("platform: restored context hash mismatch")
-	}
-	forced := err == nil && p.takeMEEForce()
-	if err == nil && !forced {
+	ff := &p.ff
+	done := func(lat sim.Duration) {
 		p.flowStats.ctxRestore = lat
 		p.flowStats.ctxVerified++
 		p.sched.After(lat, "flow.restore-ctx-dram", func() {
@@ -405,8 +399,54 @@ func (p *Platform) restoreCtxDRAM(attempt int, next func()) {
 			p.meter.Set(p.cVRSram, bud.VRSramMW)
 			next()
 		})
+	}
+	if attempt == 1 && ff.mode == FFOn && ff.cycleOK && ff.haveRestore {
+		// A steady-state restore is a fresh-import engine sequentially
+		// reading the canonical post-save region: its traffic, latency,
+		// and verification outcome are the memoized ones. The cache stays
+		// cold-stale; ffRealize rebuilds it before the next real op.
+		p.eng.ReplayOp(ff.restoreOp)
+		ff.meePrimed = true
+		ff.meeVirtual = true
+		ff.stats.MEEOpsReplayed++
+		done(ff.restoreLat)
 		return
 	}
+	if err := p.ffRealize(); err != nil {
+		p.fail("platform: context restore: %v", err)
+		return
+	}
+	canonical := attempt == 1 && ff.mode != FFOff && ff.cycleOK
+	var snap mee.OpCapture
+	if canonical {
+		snap = p.eng.CaptureOp()
+	}
+	tgt := &pmu.DRAMTarget{Engine: p.eng}
+	before := p.eng.Stats()
+	data, lat, err := tgt.RestoreInto(p.restoreBuf, len(p.ctxImage))
+	if err == nil && sha256.Sum256(data) != p.ctxHash {
+		err = fmt.Errorf("platform: restored context hash mismatch")
+	}
+	forced := err == nil && p.takeMEEForce()
+	if err == nil && !forced {
+		if canonical {
+			op := p.eng.DeltaSince(snap)
+			if !ff.haveRestore {
+				ff.restoreOp, ff.restoreLat, ff.haveRestore = op, lat, true
+			} else if ff.mode == FFVerify && (op != ff.restoreOp || lat != ff.restoreLat) {
+				p.fail("platform: fastforward verify: restore diverged from memo (lat %v vs %v, op %+v vs %+v)",
+					lat, ff.restoreLat, op, ff.restoreOp)
+				return
+			}
+			// The engine now sits in the canonical post-restore state
+			// every memoized save starts from.
+			ff.meePrimed = true
+		}
+		done(lat)
+		return
+	}
+	// Forced failures and retries leave a non-canonical cache.
+	ff.meePrimed = false
 	if p.fplane == nil {
 		// No fault plane: a genuine integrity failure stays a hard error.
 		p.fail("platform: context restore: %v", err)
@@ -519,7 +559,7 @@ func (p *Platform) driftCheck(next func()) {
 		p.fplane.stats.Recalibrations++
 	}
 	started := p.sched.Now()
-	startJ := p.meter.Snapshot().TotalBatteryJ()
+	startE := p.meter.TotalBattery()
 	if err := p.hub.Calibrate(); err != nil {
 		p.fail("platform: recalibration: %v", err)
 		return
@@ -530,7 +570,7 @@ func (p *Platform) driftCheck(next func()) {
 			Step:     "recalibrate",
 			At:       started,
 			Duration: p.sched.Now().Sub(started),
-			EnergyUJ: (p.meter.Snapshot().TotalBatteryJ() - startJ) * 1e6,
+			EnergyUJ: p.meter.TotalBattery().Sub(startE).Joules() * 1e6,
 		})
 		next()
 	})

@@ -1,0 +1,86 @@
+package platform
+
+import (
+	"reflect"
+	"testing"
+
+	"odrips/internal/faults"
+	"odrips/internal/sim"
+	"odrips/internal/workload"
+)
+
+func runFaultedFF(t *testing.T, cfg Config, mode FFMode, plan string, cycles []workload.Cycle) (Result, []FlowStep, FFStats) {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := p.SetFastForward(mode); err != nil {
+		t.Fatalf("SetFastForward: %v", err)
+	}
+	fp, err := faults.Parse(plan)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", plan, err)
+	}
+	if err := p.InjectFaults(fp); err != nil {
+		t.Fatalf("InjectFaults: %v", err)
+	}
+	res, err := p.RunCycles(cycles)
+	if err != nil {
+		t.Fatalf("RunCycles: %v", err)
+	}
+	return res, p.FlowTrace(), p.FFStats()
+}
+
+// TestFastForwardResumesAfterFaults: the memo self-disables while any
+// injection is unfired and resumes once the plane is exhausted — and the
+// faulted run stays byte-identical to full simulation either way.
+func TestFastForwardResumesAfterFaults(t *testing.T) {
+	cfg := zeroPPBConfigs()["odrips"]
+	cycles := workload.Fixed(40, 0, 30*sim.Second)
+	const plan = "wake@2" // aborts cycle 2's entry, then the plane is spent
+
+	resOff, traceOff, _ := runFaultedFF(t, cfg, FFOff, plan, cycles)
+	resOn, traceOn, statsOn := runFaultedFF(t, cfg, FFOn, plan, cycles)
+	if !reflect.DeepEqual(resOff, resOn) {
+		t.Errorf("Result diverged:\noff: %+v\non:  %+v", resOff, resOn)
+	}
+	if !reflect.DeepEqual(traceOff, traceOn) {
+		t.Errorf("FlowTrace diverged")
+	}
+	if resOn.Faults.Fired != 1 {
+		t.Errorf("faults fired = %d, want 1", resOn.Faults.Fired)
+	}
+	t.Logf("recorded=%d replayed=%d", statsOn.CyclesRecorded, statsOn.CyclesReplayed)
+	if statsOn.CyclesReplayed == 0 {
+		t.Errorf("memo never resumed after the plane was exhausted")
+	}
+
+	// Verify mode re-simulates every memoized cycle of the faulted run and
+	// must find no divergence.
+	resV, _, statsV := runFaultedFF(t, cfg, FFVerify, plan, cycles)
+	if !reflect.DeepEqual(resOff, resV) {
+		t.Errorf("verify-mode Result diverged")
+	}
+	if statsV.CyclesReplayed != 0 {
+		t.Errorf("verify mode replayed %d cycles", statsV.CyclesReplayed)
+	}
+}
+
+// TestFastForwardDisabledWhileArmed: with an injection armed for the final
+// cycle, no earlier boundary is clean, so the memo must never engage.
+func TestFastForwardDisabledWhileArmed(t *testing.T) {
+	cfg := zeroPPBConfigs()["odrips"]
+	cycles := workload.Fixed(40, 0, 30*sim.Second)
+	const plan = "wake@39"
+
+	resOff, _, _ := runFaultedFF(t, cfg, FFOff, plan, cycles)
+	resOn, _, statsOn := runFaultedFF(t, cfg, FFOn, plan, cycles)
+	if !reflect.DeepEqual(resOff, resOn) {
+		t.Errorf("Result diverged:\noff: %+v\non:  %+v", resOff, resOn)
+	}
+	if statsOn.CyclesRecorded != 0 || statsOn.CyclesReplayed != 0 {
+		t.Errorf("memo engaged with an armed injection: recorded=%d replayed=%d",
+			statsOn.CyclesRecorded, statsOn.CyclesReplayed)
+	}
+}

@@ -50,14 +50,14 @@ func (p *Platform) runSteps(flow string, steps []step, done func()) {
 		}
 		p.injectAtStep(flow, i)
 		started := p.sched.Now()
-		startJ := p.meter.Snapshot().TotalBatteryJ()
+		startE := p.meter.TotalBattery()
 		steps[i].run(func() {
 			p.recordStep(FlowStep{
 				Flow:     flow,
 				Step:     steps[i].name,
 				At:       started,
 				Duration: p.sched.Now().Sub(started),
-				EnergyUJ: (p.meter.Snapshot().TotalBatteryJ() - startJ) * 1e6,
+				EnergyUJ: p.meter.TotalBattery().Sub(startE).Joules() * 1e6,
 			})
 			exec(i + 1)
 		})
@@ -80,6 +80,7 @@ type FlowStep struct {
 const flowTraceCap = 128
 
 func (p *Platform) recordStep(fs FlowStep) {
+	p.ffRecordFlowStep(fs)
 	p.flowTrace = append(p.flowTrace, fs)
 	if len(p.flowTrace) > flowTraceCap {
 		p.flowTrace = p.flowTrace[len(p.flowTrace)-flowTraceCap:]
@@ -169,7 +170,7 @@ func (p *Platform) enterIdle(idleFor sim.Duration, plan wakePlan, done func()) {
 	p.hub.ResetWakeLatch()
 	entryStart := p.sched.Now()
 	p.entryM = entryMilestones{}
-	p.entryStartJ = p.meter.Snapshot().TotalBatteryJ()
+	p.entryStartE = p.meter.TotalBattery()
 	p.wantAbort = false
 	p.abortWake = nil
 
@@ -286,8 +287,7 @@ func (p *Platform) ctxSaveStep() step {
 	switch {
 	case p.effTech().Has(CtxSGXDRAM):
 		return step{name: "save-ctx-dram", run: func(next func()) {
-			tgt := &pmu.DRAMTarget{Engine: p.eng}
-			lat, err := tgt.Save(p.ctxImage)
+			lat, err := p.ffSaveCtxDRAM()
 			if err != nil {
 				p.fail("platform: context save: %v", err)
 				return

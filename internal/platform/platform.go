@@ -126,8 +126,11 @@ type Platform struct {
 	degraded    bool            // demoted to DRIPS-with-retention-SRAM
 	wantAbort   bool            // next entry-racing wake aborts instead of latching
 	abortWake   *chipset.WakeSource // abort requested; unwind at next step boundary
-	entryStartJ float64             // battery energy at entry start (abort accounting)
+	entryStartE power.Energy        // battery energy at entry start (abort accounting)
 	entryM      entryMilestones
+
+	// Fast-forward engine state (DESIGN.md §12).
+	ff ffState
 }
 
 // entryMilestones tracks which entry stages completed, so an abort unwinds
@@ -194,6 +197,7 @@ func New(cfg Config) (*Platform, error) {
 		meter:         m,
 		wakeCount:     make(map[chipset.WakeSource]uint64),
 		shallowCounts: make(map[string]uint64),
+		ff:            ffState{mode: DefaultFastForward()},
 	}
 
 	// Board crystals.

@@ -73,17 +73,42 @@ func (p *Platform) RunCycles(cycles []workload.Cycle) (Result, error) {
 		if p.err != nil {
 			return
 		}
-		if idx >= len(cycles) {
-			for _, fn := range p.quiesce {
-				fn()
+		// Each iteration is one cycle boundary: finalize any in-flight
+		// recording against it, then either replay memoized cycles (and
+		// loop to the next boundary) or launch one real cycle.
+		for {
+			p.meter.SettleAll()
+			eligible := p.ffCycleEligible()
+			var fp [32]byte
+			if eligible {
+				fp = p.ffFingerprint()
 			}
-			p.quiesce = nil
+			p.ffFinalizeRecording(eligible, fp)
+			if p.err != nil {
+				return
+			}
+			if idx >= len(cycles) {
+				for _, fn := range p.quiesce {
+					fn()
+				}
+				p.quiesce = nil
+				return
+			}
+			c := cycles[idx]
+			p.ffLatchCycle()
+			if eligible {
+				if n := p.ffTryReplay(fp, cycles, idx); n > 0 {
+					idx += n
+					p.cycleIdx = idx - 1
+					continue
+				}
+				p.ffBeginRecording(ffKey{fp: fp, active: c.Active, idle: c.Idle, wake: c.Wake})
+			}
+			p.cycleIdx = idx
+			idx++
+			p.runCycle(c, startCycle)
 			return
 		}
-		c := cycles[idx]
-		p.cycleIdx = idx
-		idx++
-		p.runCycle(c, startCycle)
 	}
 	startCycle()
 	p.sched.Run()
@@ -156,24 +181,24 @@ func (p *Platform) buildResult(start sim.Time, cycles int) Result {
 		IdleByComponent: make(map[string]float64),
 		WakeCounts:      make(map[string]uint64),
 	}
-	var totalJ float64
+	var totalE power.Energy
 	for _, st := range power.States() {
 		d := p.tracker.residency[st]
-		j := p.tracker.energyJ[st]
-		totalJ += j
+		e := p.tracker.energy[st]
+		totalE = totalE.Add(e)
 		if total > 0 {
 			r.Residency[st] = float64(d) / float64(total)
 		}
 		if d > 0 {
-			r.StatePowerMW[st] = j * 1e3 / d.Seconds()
+			r.StatePowerMW[st] = e.Joules() * 1e3 / d.Seconds()
 		}
-		r.StateEnergyJ[st] = j
+		r.StateEnergyJ[st] = e.Joules()
 	}
 	if total > 0 {
-		r.AvgPowerMW = totalJ * 1e3 / total.Seconds()
+		r.AvgPowerMW = totalE.Joules() * 1e3 / total.Seconds()
 	}
-	for name, j := range p.tracker.idleByCmp {
-		r.IdleByComponent[name] = j
+	for i, c := range p.meter.Ordered() {
+		r.IdleByComponent[c.Name()] = p.tracker.idleByCmp[i].Joules()
 	}
 	fs := p.flowStats
 	if fs.entries > 0 {
@@ -199,7 +224,7 @@ func (p *Platform) buildResult(start sim.Time, cycles int) Result {
 		r.Faults = p.fplane.stats
 	}
 
-	transJ := p.tracker.energyJ[power.Entry] + p.tracker.energyJ[power.Exit]
+	transJ := p.tracker.energy[power.Entry].Add(p.tracker.energy[power.Exit]).Joules()
 	if cycles > 0 {
 		r.CycleEnergy = power.CycleEnergy{
 			TransitionUJ: transJ * 1e6 / float64(cycles),

@@ -18,8 +18,8 @@ func TestMeterIntegration(t *testing.T) {
 	s.After(sim.Second, "advance", func() {})
 	s.Run()
 	snap := m.Snapshot()
-	if !approx(snap.BatteryJ["sram"], 0.010, 1e-12) {
-		t.Fatalf("10mW for 1s = %v J, want 0.010", snap.BatteryJ["sram"])
+	if !approx(snap.Battery["sram"].Joules(), 0.010, 1e-12) {
+		t.Fatalf("10mW for 1s = %v J, want 0.010", snap.Battery["sram"].Joules())
 	}
 }
 
@@ -39,14 +39,14 @@ func TestMeterEfficiencyTax(t *testing.T) {
 	s.After(sim.Second, "advance", func() {})
 	s.Run()
 	snap := m.Snapshot()
-	if !approx(snap.BatteryJ["del"], 0.010, 1e-12) {
-		t.Fatalf("delivered battery J = %v, want 0.010", snap.BatteryJ["del"])
+	if !approx(snap.Battery["del"].Joules(), 0.010, 1e-12) {
+		t.Fatalf("delivered battery J = %v, want 0.010", snap.Battery["del"].Joules())
 	}
-	if !approx(snap.NominalJ["del"], 0.0074, 1e-12) {
-		t.Fatalf("delivered nominal J = %v, want 0.0074", snap.NominalJ["del"])
+	if !approx(snap.NominalE["del"].Joules(), 0.0074, 1e-12) {
+		t.Fatalf("delivered nominal J = %v, want 0.0074", snap.NominalE["del"].Joules())
 	}
-	if !approx(snap.BatteryJ["dir"], 0.005, 1e-12) {
-		t.Fatalf("direct battery J = %v, want 0.005", snap.BatteryJ["dir"])
+	if !approx(snap.Battery["dir"].Joules(), 0.005, 1e-12) {
+		t.Fatalf("direct battery J = %v, want 0.005", snap.Battery["dir"].Joules())
 	}
 }
 
@@ -60,8 +60,8 @@ func TestMeterDrawChangeMidway(t *testing.T) {
 	s.Run()
 	snap := m.Snapshot()
 	want := 100e-3 * 1e-3 // 100 mW for 1 ms
-	if !approx(snap.BatteryJ["x"], want, 1e-15) {
-		t.Fatalf("energy = %v, want %v", snap.BatteryJ["x"], want)
+	if !approx(snap.Battery["x"].Joules(), want, 1e-15) {
+		t.Fatalf("energy = %v, want %v", snap.Battery["x"].Joules(), want)
 	}
 }
 
@@ -75,8 +75,8 @@ func TestMeterEfficiencyChangeMidway(t *testing.T) {
 	s.Run()
 	snap := m.Snapshot()
 	want := 0.010/0.5 + 0.010/1.0
-	if !approx(snap.BatteryJ["x"], want, 1e-12) {
-		t.Fatalf("energy across efficiency change = %v, want %v", snap.BatteryJ["x"], want)
+	if !approx(snap.Battery["x"].Joules(), want, 1e-12) {
+		t.Fatalf("energy across efficiency change = %v, want %v", snap.Battery["x"].Joules(), want)
 	}
 }
 
@@ -283,7 +283,7 @@ func TestMeterEnergyProperty(t *testing.T) {
 			s.After(stepMS*sim.Millisecond, "adv", func() {})
 			s.Run()
 		}
-		got := m.Snapshot().BatteryJ["x"]
+		got := m.Snapshot().Battery["x"].Joules()
 		return approx(got, wantJ, 1e-9+wantJ*1e-9)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {

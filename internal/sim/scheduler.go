@@ -230,6 +230,22 @@ func (s *Scheduler) RunUntil(deadline Time) {
 // RunFor advances the simulation by d.
 func (s *Scheduler) RunFor(d Duration) { s.RunUntil(s.now.Add(d)) }
 
+// AdvanceTo moves the clock to t without dispatching anything. It is the
+// bulk time advance used by the platform's steady-state fast-forward,
+// which is only sound when no event would have fired in the skipped
+// window — so an event queued at or before t panics (the model has a bug
+// if a replayed window still has work in it), as does moving backwards.
+func (s *Scheduler) AdvanceTo(t Time) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: AdvanceTo %v, before now %v", t, s.now))
+	}
+	if len(s.heap) > 0 && s.heap[0].when <= t {
+		panic(fmt.Sprintf("sim: AdvanceTo %v over pending event %q at %v",
+			t, s.slots[s.heap[0].slot].name, s.heap[0].when))
+	}
+	s.now = t
+}
+
 // setEntry stores e at heap position i and keeps the slot back-reference
 // coherent for O(log n) Cancel.
 func (s *Scheduler) setEntry(i int, e heapEntry) {

@@ -69,6 +69,23 @@ func (c *FastCounter) Stop() {
 	c.running = false
 }
 
+// ReplaySnapshot exports the raw latch state (base value, load anchor,
+// running flag) for the platform fast-forward engine, which records a
+// cycle's effect on the counter as deltas against this snapshot.
+func (c *FastCounter) ReplaySnapshot() (base uint64, anchor sim.Time, running bool) {
+	return c.base, c.anchor, c.running
+}
+
+// ReplayRestore installs latch state computed by the fast-forward engine
+// for a replayed window, bypassing the clock-domain-running check that
+// guards Set: the replay reproduces a state that a real Set (with the
+// domain running at the time) already produced once.
+func (c *FastCounter) ReplayRestore(base uint64, anchor sim.Time, running bool) {
+	c.base = base
+	c.anchor = anchor
+	c.running = running
+}
+
 // TimeOfValue returns the instant at which the counter reaches target
 // (first instant Read() >= target). ok is false when the counter is
 // stopped, its clock is not running, or the target is unreachable.
