@@ -3,7 +3,7 @@ PKGS     := ./...
 STAMP    := $(shell date -u +%Y%m%dT%H%M%SZ)
 FUZZTIME ?= 60s
 
-.PHONY: all build test vet lint race verify fuzz bench bench-smoke bench-sweep bench-baseline-1x bench-gate benchdiff profile clean
+.PHONY: all build test vet lint race verify fuzz bench bench-smoke bench-sweep bench-baseline-1x bench-gate bench-warm benchdiff profile profile-diff clean
 
 all: build test
 
@@ -40,6 +40,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzDeserialize$$' -fuzztime $(FUZZTIME) ./internal/ctxstore
 	$(GO) test -run '^$$' -fuzz '^FuzzUnpackBootImage$$' -fuzztime $(FUZZTIME) ./internal/ctxstore
 	$(GO) test -run '^$$' -fuzz '^FuzzFaultPlan$$' -fuzztime $(FUZZTIME) ./internal/faults
+	$(GO) test -run '^$$' -fuzz '^FuzzMemoStoreLoad$$' -fuzztime $(FUZZTIME) ./internal/memostore
 
 # Record the full benchmark suite (with allocation stats) to a timestamped
 # JSON artifact for before/after comparison. Written to a temp file and
@@ -82,20 +83,54 @@ bench-baseline-1x:
 # between two full `make bench` artifacts.
 bench-gate:
 	GOMAXPROCS=$(GATEPROCS) $(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -json $(PKGS) > BENCH_ci.json.tmp || { rm -f BENCH_ci.json.tmp; exit 1; }
-	$(GO) run ./cmd/odrips-benchdiff -ns-tolerance 1.0 -ns-floor 1e8 -allocs-slack 0.01 -allocs-floor 8 $(BASELINE_1X) BENCH_ci.json.tmp
+	$(GO) run ./cmd/odrips-benchdiff -ns-tolerance 1.0 -ns-floor 1e8 -allocs-slack 0.01 -allocs-floor 8 $(BENCHDIFF_FLAGS) $(BASELINE_1X) BENCH_ci.json.tmp
 	@rm -f BENCH_ci.json.tmp
 
 # Just the heavyweight sweep benchmark, one iteration.
 bench-sweep:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig6aSweep|BenchmarkSchedulerChurn' -benchmem -benchtime 1x .
 
+# Warm-cache tier: run the one-iteration gate suite twice against the same
+# persistent memo store (env-activated, no flag plumbing) — the first run
+# populates the store (cold), the second replays from it (warm) — then
+# report cold vs warm side by side. Reporting only, never a gate: the
+# tolerances are set so it cannot fail, and the markdown form feeds CI job
+# summaries (BENCHDIFF_FLAGS=-markdown). At -benchtime 1x the suite is
+# fully deterministic, so the warm run replays every persisted memo.
+# MEMOKEEP=1 skips the initial wipe so a store restored from a CI cache
+# survives — the "cold" run is then already warm, which is the point.
+MEMODIR ?= $(CURDIR)/.odrips-memocache
+bench-warm:
+	$(if $(MEMOKEEP),,rm -rf $(MEMODIR))
+	GOMAXPROCS=$(GATEPROCS) ODRIPS_MEMOCACHE=rw ODRIPS_MEMOCACHE_DIR=$(MEMODIR) $(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -json $(PKGS) > BENCH_cold.json.tmp || { rm -f BENCH_cold.json.tmp; exit 1; }
+	GOMAXPROCS=$(GATEPROCS) ODRIPS_MEMOCACHE=rw ODRIPS_MEMOCACHE_DIR=$(MEMODIR) $(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -json $(PKGS) > BENCH_warm.json.tmp || { rm -f BENCH_warm.json.tmp BENCH_cold.json.tmp; exit 1; }
+	$(GO) run ./cmd/odrips-benchdiff -ns-tolerance 1e9 -ns-floor 1e18 -allocs-slack 1e9 -allocs-floor 1e18 $(BENCHDIFF_FLAGS) BENCH_cold.json.tmp BENCH_warm.json.tmp
+	@rm -f BENCH_cold.json.tmp BENCH_warm.json.tmp
+
 # CPU and allocation profiles of a six-hour ODRIPS standby run; inspect
 # with `go tool pprof cpu.pprof`. FF=off profiles the full simulation path,
-# FF=on (default) profiles the memoized fast-forward path.
+# FF=on (default) profiles the memoized fast-forward path. PROF_PREFIX
+# names the artifacts, so before/after pairs can coexist:
+#
+#	make profile PROF_PREFIX=pre_     # record the baseline
+#	<apply the change>
+#	make profile PROF_PREFIX=post_
+#	go tool pprof -diff_base pre_cpu.pprof post_cpu.pprof
 FF ?= on
+PROF_PREFIX ?=
 profile:
-	$(GO) run ./cmd/odrips-sim -config odrips -cycles 720 -fastforward $(FF) -cpuprofile cpu.pprof -memprofile mem.pprof > /dev/null
-	@echo wrote cpu.pprof mem.pprof
+	$(GO) run ./cmd/odrips-sim -config odrips -cycles 720 -fastforward $(FF) -cpuprofile $(PROF_PREFIX)cpu.pprof -memprofile $(PROF_PREFIX)mem.pprof > /dev/null
+	@echo wrote $(PROF_PREFIX)cpu.pprof $(PROF_PREFIX)mem.pprof
+
+# Differential profile of the fast-forward engine itself: record the same
+# run with the engine off and on, then print the delta (-diff_base), i.e.
+# exactly what the memoized path still pays for — the post-memo residue.
+profile-diff:
+	$(GO) run ./cmd/odrips-sim -config odrips -cycles 720 -fastforward off -cpuprofile ffoff_cpu.pprof -memprofile ffoff_mem.pprof > /dev/null
+	$(GO) run ./cmd/odrips-sim -config odrips -cycles 720 -fastforward on -cpuprofile ffon_cpu.pprof -memprofile ffon_mem.pprof > /dev/null
+	$(GO) tool pprof -top -nodecount=25 -diff_base ffoff_cpu.pprof ffon_cpu.pprof
+	@echo wrote ffoff_cpu.pprof ffon_cpu.pprof ffoff_mem.pprof ffon_mem.pprof
+	@echo "inspect: $(GO) tool pprof -diff_base ffoff_cpu.pprof ffon_cpu.pprof"
 
 # Compare two bench artifacts: make benchdiff OLD=BENCH_a.json NEW=BENCH_b.json
 # Fails on >10% ns/op growth or any allocs/op growth.
@@ -103,4 +138,5 @@ benchdiff:
 	$(GO) run ./cmd/odrips-benchdiff $(OLD) $(NEW)
 
 clean:
-	rm -f BENCH_*.json BENCH_*.json.tmp
+	rm -f BENCH_*.json BENCH_*.json.tmp *.pprof
+	rm -rf .odrips-memocache

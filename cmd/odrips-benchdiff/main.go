@@ -46,6 +46,8 @@ var (
 		"fractional allocs/op growth tolerated (0 = any growth fails)")
 	allocsFloor = flag.Float64("allocs-floor", 0,
 		"absolute allocs/op growth additionally required to flag a regression")
+	markdown = flag.Bool("markdown", false,
+		"emit a GitHub-flavored-markdown summary table (for CI job summaries) instead of the fixed-width report")
 )
 
 type result struct {
@@ -180,40 +182,106 @@ func main() {
 	}
 	sort.Strings(names)
 
+	// Comparison rows, shared by both renderers.
+	type row struct {
+		name           string
+		oldNs, newNs   float64
+		pct            float64
+		allocs         string
+		gone, added    bool
+		timeR, allocsR bool
+	}
+	var rows []row
 	var regressions []string
-	fmt.Printf("%-60s %14s %14s %8s %10s\n", "benchmark", "old ns/op", "new ns/op", "Δ%", "allocs/op")
 	for _, n := range names {
 		o := oldRes[n]
 		nw, ok := newRes[n]
 		if !ok {
-			fmt.Printf("%-60s %14.0f %14s\n", n, o.nsPerOp, "(gone)")
+			rows = append(rows, row{name: n, oldNs: o.nsPerOp, gone: true})
 			continue
 		}
-		pct := (nw.nsPerOp - o.nsPerOp) / o.nsPerOp * 100
-		allocs := ""
+		r := row{name: n, oldNs: o.nsPerOp, newNs: nw.nsPerOp}
+		r.pct = (nw.nsPerOp - o.nsPerOp) / o.nsPerOp * 100
 		if o.hasAllocs || nw.hasAllocs {
-			allocs = fmt.Sprintf("%.0f→%.0f", o.allocsPerOp, nw.allocsPerOp)
+			r.allocs = fmt.Sprintf("%.0f→%.0f", o.allocsPerOp, nw.allocsPerOp)
 		}
-		mark := ""
 		if nw.nsPerOp > o.nsPerOp*(1+*nsTolerance) && nw.nsPerOp-o.nsPerOp > *nsFloorAbs {
-			mark = "  REGRESSED time"
-			regressions = append(regressions, fmt.Sprintf("%s: ns/op %+.1f%% (limit +%.0f%%)", n, pct, *nsTolerance*100))
+			r.timeR = true
+			regressions = append(regressions, fmt.Sprintf("%s: ns/op %+.1f%% (limit +%.0f%%)", n, r.pct, *nsTolerance*100))
 		}
 		if nw.allocsPerOp > o.allocsPerOp*(1+*allocsSlack) && nw.allocsPerOp-o.allocsPerOp > *allocsFloor {
-			mark += "  REGRESSED allocs"
+			r.allocsR = true
 			regressions = append(regressions, fmt.Sprintf("%s: allocs/op %.0f → %.0f", n, o.allocsPerOp, nw.allocsPerOp))
 		}
-		fmt.Printf("%-60s %14.0f %14.0f %7.1f%% %10s%s\n", n, o.nsPerOp, nw.nsPerOp, pct, allocs, mark)
+		rows = append(rows, r)
 	}
-	added := make([]string, 0)
+	addedNames := make([]string, 0)
 	for n := range newRes {
 		if _, ok := oldRes[n]; !ok {
-			added = append(added, n)
+			addedNames = append(addedNames, n)
 		}
 	}
-	sort.Strings(added)
-	for _, n := range added {
-		fmt.Printf("%-60s %14s %14.0f\n", n, "(new)", newRes[n].nsPerOp)
+	sort.Strings(addedNames)
+	for _, n := range addedNames {
+		rows = append(rows, row{name: n, newNs: newRes[n].nsPerOp, added: true})
+	}
+
+	okLine := fmt.Sprintf("no regressions (tolerance: ns/op +%.0f%% and +%.0fns, allocs/op +%.1f%% and +%.0f)",
+		*nsTolerance*100, *nsFloorAbs, *allocsSlack*100, *allocsFloor)
+
+	if *markdown {
+		fmt.Println("| benchmark | old ns/op | new ns/op | Δ% | allocs/op | status |")
+		fmt.Println("|---|---:|---:|---:|---:|---|")
+		for _, r := range rows {
+			switch {
+			case r.gone:
+				fmt.Printf("| `%s` | %.0f | _(gone)_ | | | |\n", r.name, r.oldNs)
+			case r.added:
+				fmt.Printf("| `%s` | _(new)_ | %.0f | | | |\n", r.name, r.newNs)
+			default:
+				status := "ok"
+				if r.timeR {
+					status = "**REGRESSED time**"
+				}
+				if r.allocsR {
+					if r.timeR {
+						status += " **+allocs**"
+					} else {
+						status = "**REGRESSED allocs**"
+					}
+				}
+				fmt.Printf("| `%s` | %.0f | %.0f | %+.1f%% | %s | %s |\n",
+					r.name, r.oldNs, r.newNs, r.pct, r.allocs, status)
+			}
+		}
+		fmt.Println()
+		if len(regressions) > 0 {
+			for _, r := range regressions {
+				fmt.Println("- :red_circle: REGRESSION:", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Println(":white_check_mark:", okLine)
+		return
+	}
+
+	fmt.Printf("%-60s %14s %14s %8s %10s\n", "benchmark", "old ns/op", "new ns/op", "Δ%", "allocs/op")
+	for _, r := range rows {
+		switch {
+		case r.gone:
+			fmt.Printf("%-60s %14.0f %14s\n", r.name, r.oldNs, "(gone)")
+		case r.added:
+			fmt.Printf("%-60s %14s %14.0f\n", r.name, "(new)", r.newNs)
+		default:
+			mark := ""
+			if r.timeR {
+				mark = "  REGRESSED time"
+			}
+			if r.allocsR {
+				mark += "  REGRESSED allocs"
+			}
+			fmt.Printf("%-60s %14.0f %14.0f %7.1f%% %10s%s\n", r.name, r.oldNs, r.newNs, r.pct, r.allocs, mark)
+		}
 	}
 
 	if len(regressions) > 0 {
@@ -223,6 +291,5 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("\nno regressions (tolerance: ns/op +%.0f%% and +%.0fns, allocs/op +%.1f%% and +%.0f)\n",
-		*nsTolerance*100, *nsFloorAbs, *allocsSlack*100, *allocsFloor)
+	fmt.Printf("\n%s\n", okLine)
 }

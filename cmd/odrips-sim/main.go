@@ -68,6 +68,8 @@ func main() {
 	breakeven := flag.Bool("breakeven", false, "sweep the empirical break-even residency vs the baseline configuration")
 	workers := flag.Int("workers", 0, "simulation worker pool size for -breakeven (0 = all cores, 1 = sequential)")
 	ffFlag := flag.String("fastforward", "on", "steady-state fast-forward: on, off, or verify (output is byte-identical across all three)")
+	memoFlag := flag.String("memocache", "", "persistent memo store: off, rw, ro, or verify (default: inherit ODRIPS_MEMOCACHE, normally off; output is byte-identical across all modes)")
+	memoDir := flag.String("memocachedir", "", "persistent memo store directory (default .odrips-memocache)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to `file`")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to `file`")
 	flag.Parse()
@@ -83,6 +85,12 @@ func main() {
 		os.Exit(2)
 	}
 	odrips.SetDefaultFastForward(ffMode)
+	if *memoFlag != "" || *memoDir != "" {
+		if err := odrips.SetupMemoCache(*memoFlag, *memoDir); err != nil {
+			fmt.Fprintf(os.Stderr, "odrips-sim: -memocache: %v\n", err)
+			os.Exit(2)
+		}
+	}
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "odrips-sim: %v\n", err)

@@ -101,9 +101,15 @@ func (h *Hub) WakeFired() bool { return h.wakeFired }
 
 // ReplayAddWakes bulk-advances a wake-source counter by n, standing in
 // for n fireWake calls whose cycles the platform replayed. Only the
-// statistics move; the latch and wake callback are untouched (the replay
-// window contains complete cycles, which end with the latch reset).
+// statistics move; the wake callback is untouched, and the latch is
+// restored separately via ReplayRestoreWakeLatch.
 func (h *Hub) ReplayAddWakes(src WakeSource, n uint64) { h.wakes[src] += n }
+
+// ReplayRestoreWakeLatch forces the wake latch to a recorded
+// end-of-cycle value. A completed deep-idle cycle leaves the latch set
+// until the next idle entry re-arms it, so a replayed cycle must
+// reproduce that state for the boundary to match the simulated path.
+func (h *Hub) ReplayRestoreWakeLatch(fired bool) { h.wakeFired = fired }
 
 // GPIOPins returns the chipset's claimed GPIO pins sorted by name, for
 // the platform fast-forward fingerprint.

@@ -20,10 +20,23 @@ type PointSpec[T any] struct {
 	// Label names the point in error messages ("ODRIPS @ 1.0 GHz",
 	// "residency 6.6ms", ...).
 	Label string
+	// LabelFn lazily names the point when Label is empty. Sweeps submit
+	// thousands of points whose names are only read on the error path, so
+	// the engine defers the formatting instead of paying a Sprintf per
+	// point.
+	LabelFn func() string
 	// Run evaluates the point. It must not share mutable state with other
 	// points; `go test -race ./...` enforces this across the experiment
 	// suite.
 	Run func() (T, error)
+}
+
+// label resolves the point's name, formatting lazily if needed.
+func (p *PointSpec[T]) label() string {
+	if p.Label == "" && p.LabelFn != nil {
+		return p.LabelFn()
+	}
+	return p.Label
 }
 
 // PointResult is one evaluated point, delivered at its submission index.
@@ -81,7 +94,11 @@ func RunPoints[T any](points []PointSpec[T], workers int) ([]PointResult[T], err
 		// Sequential fast path: no goroutines, no synchronization.
 		for i, p := range points {
 			v, err := p.Run()
-			results[i] = PointResult[T]{Index: i, Label: p.Label, Value: v, Err: err}
+			lbl := p.Label
+			if err != nil {
+				lbl = p.label()
+			}
+			results[i] = PointResult[T]{Index: i, Label: lbl, Value: v, Err: err}
 			if err != nil {
 				break
 			}
@@ -104,7 +121,11 @@ func RunPoints[T any](points []PointSpec[T], workers int) ([]PointResult[T], err
 					return
 				}
 				v, err := points[i].Run()
-				results[i] = PointResult[T]{Index: i, Label: points[i].Label, Value: v, Err: err}
+				lbl := points[i].Label
+				if err != nil {
+					lbl = points[i].label()
+				}
+				results[i] = PointResult[T]{Index: i, Label: lbl, Value: v, Err: err}
 				if err != nil {
 					// errgroup-style: poison the pool so idle workers stop
 					// claiming points, then let in-flight ones drain.
@@ -122,8 +143,8 @@ func RunPoints[T any](points []PointSpec[T], workers int) ([]PointResult[T], err
 func firstError[T any](points []PointSpec[T], results []PointResult[T]) error {
 	for i := range results {
 		if results[i].Err != nil {
-			if points[i].Label != "" {
-				return fmt.Errorf("point %d (%s): %w", i, points[i].Label, results[i].Err)
+			if lbl := points[i].label(); lbl != "" {
+				return fmt.Errorf("point %d (%s): %w", i, lbl, results[i].Err)
 			}
 			return fmt.Errorf("point %d: %w", i, results[i].Err)
 		}
@@ -138,11 +159,10 @@ func runIndexed[T any](n, workers int, label func(int) string, run func(int) (T,
 	specs := make([]PointSpec[T], n)
 	for i := range specs {
 		i := i
-		var lbl string
+		specs[i] = PointSpec[T]{Run: func() (T, error) { return run(i) }}
 		if label != nil {
-			lbl = label(i)
+			specs[i].LabelFn = func() string { return label(i) }
 		}
-		specs[i] = PointSpec[T]{Label: lbl, Run: func() (T, error) { return run(i) }}
 	}
 	results, err := RunPoints(specs, workers)
 	if err != nil {

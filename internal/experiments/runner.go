@@ -14,10 +14,13 @@
 package experiments
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"sync"
 
 	"odrips/internal/aonio"
+	"odrips/internal/memostore"
 	"odrips/internal/platform"
 	"odrips/internal/power"
 	"odrips/internal/sim"
@@ -129,6 +132,16 @@ type sweepPointKey struct {
 	cycles    int
 }
 
+// The canonicalization defaults are config-independent: the generation
+// budgets are pure literals and the FET leakage default is a constructor
+// constant. Building them once removes a Skylake()+Haswell()+NewFET
+// allocation triple from every sweep point.
+var (
+	canonSkylakeDirty = platform.Skylake().LLCDirtyFraction
+	canonHaswellDirty = platform.Haswell().LLCDirtyFraction
+	canonFETLeakage   = aonio.NewFET(nil).LeakageFraction
+)
+
 // canonicalPointConfig maps a configuration to its sweep fingerprint
 // class: knobs that provably cannot change a measured duration or energy
 // are normalized to their zero form, so sweep halves sharing a steady
@@ -151,14 +164,14 @@ func canonicalPointConfig(cfg platform.Config) platform.Config {
 		cfg.ExitReinitScale = 0
 	}
 	// Restating a generation's budget default changes nothing.
-	bud := platform.Skylake()
+	dirty := canonSkylakeDirty
 	if cfg.Generation == platform.GenHaswell {
-		bud = platform.Haswell()
+		dirty = canonHaswellDirty
 	}
-	if cfg.LLCDirtyFraction == bud.LLCDirtyFraction {
+	if cfg.LLCDirtyFraction == dirty {
 		cfg.LLCDirtyFraction = 0
 	}
-	if cfg.FETLeakageFraction == aonio.NewFET(nil).LeakageFraction {
+	if cfg.FETLeakageFraction == canonFETLeakage {
 		cfg.FETLeakageFraction = 0
 	}
 	return cfg
@@ -176,6 +189,52 @@ func ResetPointCache() {
 	transCache.Range(func(k, _ any) bool { transCache.Delete(k); return true })
 }
 
+// ---- Persistent point memos ----
+//
+// Beyond the in-process maps, points round-trip through the
+// content-addressed memo store (-memocache) so a warm process skips the
+// simulations entirely. An entry is one 8-byte little-endian word — the
+// sweep average's Float64bits or the transition duration — keyed by the
+// canonical config's exact Go representation plus the grid coordinates.
+// Determinism makes the equality contract exact: in Verify mode the point
+// is re-simulated and the stored bits must match to the last bit.
+
+// pointDiskKey renders a stable store key for a canonicalized config.
+func pointDiskKey(cfg platform.Config, residency sim.Duration, cycles int) []byte {
+	return []byte(fmt.Sprintf("%#v|res=%d|n=%d", cfg, int64(residency), cycles))
+}
+
+// pointDiskLoad reads one 8-byte point from the default store. Any
+// failure — no store, miss, corruption, wrong size — is a cache miss.
+func pointDiskLoad(class string, key []byte) (uint64, bool) {
+	payload, ok, err := memostore.Default().Load(class, key)
+	if err != nil || !ok || len(payload) != 8 {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(payload), true
+}
+
+// pointDiskSave persists one 8-byte point (no-op unless the default
+// store is writable).
+func pointDiskSave(class string, key []byte, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	memostore.Default().Save(class, key, b[:])
+}
+
+// pointDiskVerify diffs a freshly computed point against the stored bits
+// in -memocache=verify mode.
+func pointDiskVerify(class string, key []byte, got uint64) error {
+	if memostore.Default().Mode() != memostore.Verify {
+		return nil
+	}
+	stored, ok := pointDiskLoad(class, key)
+	if ok && stored != got {
+		return fmt.Errorf("experiments: memocache verify: %s point diverged from persistent memo (stored %#x, computed %#x)", class, stored, got)
+	}
+	return nil
+}
+
 // sweepAverage measures the average power of the idle cycle — entry, idle
 // residency, and exit, excluding the identical active burst — with the
 // deepest state forced (the paper's debug-switch methodology). Excluding
@@ -187,6 +246,14 @@ func sweepAverage(cfg platform.Config, residency sim.Duration, cycles int) (floa
 	key := sweepPointKey{cfg: canonicalPointConfig(cfg), residency: residency, cycles: cycles}
 	if v, ok := sweepCache.Load(key); ok {
 		return v.(float64), nil
+	}
+	diskKey := pointDiskKey(key.cfg, residency, cycles)
+	if memostore.Default().Mode() != memostore.Verify {
+		if bits, ok := pointDiskLoad("sweep", diskKey); ok {
+			mw := math.Float64frombits(bits)
+			sweepCache.Store(key, mw)
+			return mw, nil
+		}
 	}
 	cfg.ForceDeepest = true
 	p, err := platform.New(cfg)
@@ -206,6 +273,10 @@ func sweepAverage(cfg platform.Config, residency sim.Duration, cycles int) (floa
 		return 0, fmt.Errorf("sweep: no idle-cycle time at %v", residency)
 	}
 	mw := energyJ * 1e3 / seconds
+	if err := pointDiskVerify("sweep", diskKey, math.Float64bits(mw)); err != nil {
+		return 0, err
+	}
+	pointDiskSave("sweep", diskKey, math.Float64bits(mw))
 	sweepCache.Store(key, mw)
 	return mw, nil
 }
@@ -216,6 +287,14 @@ func transitionTime(cfg platform.Config) (sim.Duration, error) {
 	key := canonicalPointConfig(cfg)
 	if v, ok := transCache.Load(key); ok {
 		return v.(sim.Duration), nil
+	}
+	diskKey := pointDiskKey(key, 0, 0)
+	if memostore.Default().Mode() != memostore.Verify {
+		if bits, ok := pointDiskLoad("trans", diskKey); ok {
+			d := sim.Duration(int64(bits))
+			transCache.Store(key, d)
+			return d, nil
+		}
 	}
 	forced := cfg
 	forced.ForceDeepest = true
@@ -228,6 +307,10 @@ func transitionTime(cfg platform.Config) (sim.Duration, error) {
 		return 0, err
 	}
 	d := res.EntryAvg + res.ExitAvg
+	if err := pointDiskVerify("trans", diskKey, uint64(int64(d))); err != nil {
+		return 0, err
+	}
+	pointDiskSave("trans", diskKey, uint64(int64(d)))
 	transCache.Store(key, d)
 	return d, nil
 }

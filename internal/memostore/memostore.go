@@ -1,0 +1,443 @@
+// Package memostore is a disk-persisted, content-addressed, versioned
+// store for the simulator's memoization layers (DESIGN.md §13): the
+// fast-forward engine's steady-state cycle records and the experiment
+// runner's sweep-point/transition memos.
+//
+// Soundness rests on three properties, each enforced structurally:
+//
+//   - Content addressing. An entry is stored under the hash of its full
+//     logical key (config fingerprint class), and the un-truncated key
+//     hash is repeated inside the entry header, so a filename collision
+//     degrades to a miss, never to a wrong payload.
+//
+//   - Wholesale invalidation. Every entry carries the store schema
+//     version and a build fingerprint (the SHA-256 of the running
+//     executable). Any code change — simulator behavior, record layout,
+//     compiler — changes the build fingerprint and turns the whole cache
+//     into misses. There is no partial-invalidation logic to get wrong.
+//
+//   - Fail-safe loads. A corrupt, truncated, or version-mismatched entry
+//     is reported as a miss (optionally with a typed *CorruptError
+//     diagnostic); Load never panics and never returns a payload whose
+//     checksum, key hash, version, and build fingerprint did not all
+//     verify. Callers therefore recompute — the exact cold-path behavior
+//     — and results stay byte-identical.
+//
+// Writes go through a unique temp file in the store directory followed
+// by os.Rename, so concurrent writers (two rw processes, or worker
+// goroutines) can race freely: readers only ever observe a complete
+// entry or none.
+package memostore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// Mode selects the store's behavior, mirroring the -memocache flag.
+type Mode int32
+
+const (
+	// Off disables the store: loads miss, saves drop.
+	Off Mode = iota
+	// RW loads entries and persists new computations (the warm path).
+	RW
+	// RO loads entries but never writes (shared/read-only caches).
+	RO
+	// Verify loads entries but callers must re-compute every loaded
+	// value and fail on divergence — the same contract as
+	// -fastforward=verify. The store itself behaves like RO.
+	Verify
+)
+
+// String renders the flag form.
+func (m Mode) String() string {
+	switch m {
+	case RW:
+		return "rw"
+	case RO:
+		return "ro"
+	case Verify:
+		return "verify"
+	default:
+		return "off"
+	}
+}
+
+// ParseMode parses the -memocache flag values off|rw|ro|verify.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "off":
+		return Off, nil
+	case "rw":
+		return RW, nil
+	case "ro":
+		return RO, nil
+	case "verify":
+		return Verify, nil
+	}
+	return Off, fmt.Errorf("memostore: mode %q (want off, rw, ro, or verify)", s)
+}
+
+// Readable reports whether loads may return hits.
+func (m Mode) Readable() bool { return m == RW || m == RO || m == Verify }
+
+// Writable reports whether saves persist.
+func (m Mode) Writable() bool { return m == RW }
+
+// Entry layout (little-endian, fixed order):
+//
+//	magic        [8]byte  "ODRMEMO1"
+//	schema       uint32   SchemaVersion
+//	buildFP      [32]byte SHA-256 of the running executable
+//	keyHash      [32]byte SHA-256 of the logical key
+//	payloadLen   uint32
+//	payload      [payloadLen]byte
+//	payloadSum   [32]byte SHA-256 of payload
+const (
+	// SchemaVersion is the on-disk entry format version. Bump it on any
+	// layout change; old entries become misses.
+	SchemaVersion = 1
+
+	magic      = "ODRMEMO1"
+	headerLen  = len(magic) + 4 + 32 + 32 + 4
+	trailerLen = 32
+
+	// maxPayload bounds a single entry so a corrupt length field cannot
+	// drive a huge allocation.
+	maxPayload = 64 << 20
+)
+
+// CorruptError reports a malformed entry file. Callers treat it as a
+// miss; it exists so diagnostics (and the fuzz target) can tell
+// corruption apart from plain absence.
+type CorruptError struct {
+	Path   string
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("memostore: corrupt entry %s: %s", e.Path, e.Reason)
+}
+
+// Stats counts store outcomes since Open.
+type Stats struct {
+	Hits        uint64 // loads that returned a verified payload
+	Misses      uint64 // absent entries (or key-hash collisions)
+	Corrupt     uint64 // malformed entries, degraded to misses
+	VersionSkew uint64 // schema/build-fingerprint mismatches, degraded to misses
+	Writes      uint64 // entries persisted
+	WriteErrors uint64 // failed persists (dropped; never fatal)
+}
+
+// Store is a content-addressed entry cache rooted at one directory.
+// All methods are safe for concurrent use.
+type Store struct {
+	dir     string
+	mode    Mode
+	buildFP [32]byte
+
+	mu    sync.Mutex
+	stats Stats
+
+	// tmpSeq disambiguates temp files within the process; combined with
+	// the PID it keeps concurrent writers from colliding.
+	tmpSeq atomic.Uint64
+}
+
+// Open creates (if needed) and opens a store rooted at dir. A nil store
+// with mode Off is represented by a nil *Store; all methods tolerate a
+// nil receiver, behaving as Off.
+func Open(dir string, mode Mode) (*Store, error) {
+	if mode == Off {
+		return nil, nil
+	}
+	if dir == "" {
+		return nil, fmt.Errorf("memostore: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("memostore: %v", err)
+	}
+	fp, err := buildFingerprint()
+	if err != nil {
+		return nil, fmt.Errorf("memostore: build fingerprint: %v", err)
+	}
+	return &Store{dir: dir, mode: mode, buildFP: fp}, nil
+}
+
+// Mode returns the store's mode (Off for a nil store).
+func (s *Store) Mode() Mode {
+	if s == nil {
+		return Off
+	}
+	return s.mode
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string {
+	if s == nil {
+		return ""
+	}
+	return s.dir
+}
+
+// BuildFingerprint returns the digest that versions every entry.
+func (s *Store) BuildFingerprint() [32]byte {
+	if s == nil {
+		return [32]byte{}
+	}
+	return s.buildFP
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// EntryPath returns the file an entry for (class, key) lives in. The
+// name embeds half the key hash; the full hash inside the entry guards
+// the truncation.
+func (s *Store) EntryPath(class string, key []byte) string {
+	kh := sha256.Sum256(key)
+	return filepath.Join(s.dir, fmt.Sprintf("%s-%x.memo", class, kh[:16]))
+}
+
+// Load fetches the payload stored for (class, key). ok reports a
+// verified hit. A missing entry is (nil, false, nil); a malformed one is
+// (nil, false, *CorruptError); a schema or build mismatch is a plain
+// miss. Load never returns ok together with an error.
+func (s *Store) Load(class string, key []byte) (payload []byte, ok bool, err error) {
+	if s == nil || !s.mode.Readable() {
+		return nil, false, nil
+	}
+	path := s.EntryPath(class, key)
+	data, rerr := os.ReadFile(path)
+	if rerr != nil {
+		s.count(func(st *Stats) { st.Misses++ })
+		return nil, false, nil
+	}
+	kh := sha256.Sum256(key)
+	payload, verdict := decodeEntry(data, s.buildFP, kh)
+	switch verdict {
+	case entryOK:
+		s.count(func(st *Stats) { st.Hits++ })
+		return payload, true, nil
+	case entrySkew:
+		s.count(func(st *Stats) { st.VersionSkew++ })
+		return nil, false, nil
+	case entryWrongKey:
+		s.count(func(st *Stats) { st.Misses++ })
+		return nil, false, nil
+	default:
+		s.count(func(st *Stats) { st.Corrupt++ })
+		return nil, false, &CorruptError{Path: path, Reason: verdict.reason}
+	}
+}
+
+// Save persists payload for (class, key). Failures are counted and
+// dropped: persistence is an optimization, never a correctness
+// dependency.
+func (s *Store) Save(class string, key, payload []byte) {
+	if s == nil || !s.mode.Writable() || len(payload) > maxPayload {
+		return
+	}
+	kh := sha256.Sum256(key)
+	buf := make([]byte, 0, headerLen+len(payload)+trailerLen)
+	buf = append(buf, magic...)
+	buf = binary.LittleEndian.AppendUint32(buf, SchemaVersion)
+	buf = append(buf, s.buildFP[:]...)
+	buf = append(buf, kh[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	sum := sha256.Sum256(payload)
+	buf = append(buf, sum[:]...)
+
+	if err := s.writeAtomic(s.EntryPath(class, key), buf); err != nil {
+		s.count(func(st *Stats) { st.WriteErrors++ })
+		return
+	}
+	s.count(func(st *Stats) { st.Writes++ })
+}
+
+// writeAtomic writes data to a unique temp file in the store directory
+// and renames it into place, so readers never observe a partial entry
+// and concurrent writers race safely (last rename wins).
+func (s *Store) writeAtomic(path string, data []byte) error {
+	tmp := fmt.Sprintf("%s.tmp.%d.%d", path, os.Getpid(), s.tmpSeq.Add(1))
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o666)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(data)
+	cerr := f.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp, path)
+	}
+	if werr != nil {
+		os.Remove(tmp) // best effort; the unique name keeps strays harmless
+		return werr
+	}
+	return nil
+}
+
+func (s *Store) count(f func(*Stats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}
+
+// entryVerdict classifies a decode attempt.
+type entryVerdict struct {
+	kind   int // 0 ok, 1 skew, 2 wrong key, 3 corrupt
+	reason string
+}
+
+var (
+	entryOK       = entryVerdict{kind: 0}
+	entrySkew     = entryVerdict{kind: 1}
+	entryWrongKey = entryVerdict{kind: 2}
+)
+
+func corrupt(reason string) entryVerdict { return entryVerdict{kind: 3, reason: reason} }
+
+// decodeEntry validates a raw entry against the expected build
+// fingerprint and key hash. It is total: any input yields a verdict,
+// never a panic, and a payload is returned only when every check passed.
+func decodeEntry(data []byte, buildFP, keyHash [32]byte) ([]byte, entryVerdict) {
+	if len(data) < headerLen+trailerLen {
+		return nil, corrupt("short entry")
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, corrupt("bad magic")
+	}
+	off := len(magic)
+	schema := binary.LittleEndian.Uint32(data[off:])
+	off += 4
+	var gotBuild, gotKey [32]byte
+	copy(gotBuild[:], data[off:])
+	off += 32
+	copy(gotKey[:], data[off:])
+	off += 32
+	plen := binary.LittleEndian.Uint32(data[off:])
+	off += 4
+	if plen > maxPayload || len(data) != off+int(plen)+trailerLen {
+		return nil, corrupt("length mismatch")
+	}
+	payload := data[off : off+int(plen)]
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], data[off+int(plen):]) {
+		return nil, corrupt("payload checksum mismatch")
+	}
+	// Version checks come after structural ones so a well-formed entry
+	// from another build is skew, not corruption.
+	if schema != SchemaVersion || gotBuild != buildFP {
+		return nil, entrySkew
+	}
+	if gotKey != keyHash {
+		return nil, entryWrongKey // filename-truncation collision
+	}
+	return payload, entryOK
+}
+
+// DecodeEntryForFuzz exposes the raw entry validator to the fuzz target:
+// it must classify arbitrary bytes without panicking and only report a
+// hit when every check passed.
+func DecodeEntryForFuzz(data []byte, buildFP, keyHash [32]byte) (payload []byte, hit bool, reason string) {
+	p, v := decodeEntry(data, buildFP, keyHash)
+	return p, v.kind == 0, v.reason
+}
+
+// ---- Build fingerprint ----
+
+var buildFPOnce struct {
+	sync.Once
+	fp  [32]byte
+	err error
+}
+
+// buildFingerprint hashes the running executable once per process. Any
+// change to the simulator — code, record layouts, toolchain — yields a
+// different binary and therefore a disjoint cache namespace.
+func buildFingerprint() ([32]byte, error) {
+	o := &buildFPOnce
+	o.Do(func() {
+		exe, err := os.Executable()
+		if err != nil {
+			o.err = err
+			return
+		}
+		f, err := os.Open(exe)
+		if err != nil {
+			o.err = err
+			return
+		}
+		defer f.Close()
+		h := sha256.New()
+		if _, err := io.Copy(h, f); err != nil {
+			o.err = err
+			return
+		}
+		copy(o.fp[:], h.Sum(nil))
+	})
+	return o.fp, o.err
+}
+
+// BuildFingerprintHex returns the current process's build fingerprint in
+// hex ("" on error); CI keys its cache on it.
+func BuildFingerprintHex() string {
+	fp, err := buildFingerprint()
+	if err != nil {
+		return ""
+	}
+	return fmt.Sprintf("%x", fp)
+}
+
+// ---- Process-wide default store ----
+
+var defaultStore atomic.Pointer[Store]
+
+// SetDefault installs the process-wide store consumed by the platform
+// and experiment memo layers. nil turns persistence off.
+func SetDefault(s *Store) { defaultStore.Store(s) }
+
+// Default returns the process-wide store (nil when off).
+func Default() *Store { return defaultStore.Load() }
+
+// init wires the default store from the environment so test binaries and
+// benchmark runs can opt in without flag plumbing:
+//
+//	ODRIPS_MEMOCACHE=off|rw|ro|verify   (default off)
+//	ODRIPS_MEMOCACHE_DIR=<dir>          (default .odrips-memocache)
+//
+// A bad mode or an unopenable directory silently falls back to Off — the
+// cache must never be able to break a run.
+func init() {
+	mode, err := ParseMode(os.Getenv("ODRIPS_MEMOCACHE"))
+	if err != nil || mode == Off {
+		return
+	}
+	dir := os.Getenv("ODRIPS_MEMOCACHE_DIR")
+	if dir == "" {
+		dir = ".odrips-memocache"
+	}
+	s, err := Open(dir, mode)
+	if err != nil {
+		return
+	}
+	SetDefault(s)
+}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"odrips/internal/mee"
+	"odrips/internal/memostore"
 	"odrips/internal/pmu"
 	"odrips/internal/power"
 	"odrips/internal/sim"
@@ -137,6 +138,14 @@ type ffState struct {
 	fpBuf       []byte
 	nomScratch  []power.Energy
 	battScratch []power.Energy
+
+	// Persistent memo plumbing (ffpersist.go): the process default store
+	// this platform attached to, the shared bundle for its config, and —
+	// under -memocache=verify — the disk-loaded keys that must be
+	// re-simulated and diffed instead of replayed.
+	store      *memostore.Store
+	persist    *ffBundle
+	verifyKeys map[ffKey]bool
 
 	stats FFStats
 }

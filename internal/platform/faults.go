@@ -244,6 +244,7 @@ func (p *Platform) applyIdleFault(inj faults.Injection) {
 				}
 			} else {
 				p.emram[0] ^= 1
+				p.emramHashOK = false // in-place corruption invalidates the cached digest
 			}
 		} else {
 			// Transient: the stored image is fine, the first restore's

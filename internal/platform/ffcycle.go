@@ -94,10 +94,14 @@ type cycleRecord struct {
 	ctxSaveLat, ctxRestore  sim.Duration // end values (identical per cycle)
 	ctxVerifiedD            uint64
 
-	// Wake accounting.
-	wakeD    [3]uint64 // platform counts, indexed by chipset.WakeSource
-	hubWakeD [3]uint64
-	shallowD map[string]uint64
+	// Wake accounting. endWakeFired is the hub latch at the end boundary:
+	// a completed deep-idle cycle leaves it set until the next idle entry
+	// re-arms it, while a shallow or leading boundary leaves it clear, so
+	// replay must restore it for the next boundary fingerprint to match.
+	wakeD        [3]uint64 // platform counts, indexed by chipset.WakeSource
+	hubWakeD     [3]uint64
+	shallowD     map[string]uint64
+	endWakeFired bool
 
 	// Timekeeping surgery.
 	mainTimerP ctrPatch
@@ -321,10 +325,17 @@ func (p *Platform) ffFingerprint() [32]byte {
 	}
 
 	// On-chip eMRAM context (fault injection can corrupt it in place).
+	// The content digest is memoized behind a dirty flag: the save flow
+	// rewrites the same ctxImage bytes every cycle (and installs its
+	// precomputed hash), so the per-boundary cost is O(1) instead of a
+	// full SHA-256 of the image.
 	b = ffPutU64(b, uint64(len(p.emram)))
 	if len(p.emram) > 0 {
-		h := sha256.Sum256(p.emram)
-		b = append(b, h[:]...)
+		if !p.emramHashOK {
+			p.emramHash = sha256.Sum256(p.emram)
+			p.emramHashOK = true
+		}
+		b = append(b, p.emramHash[:]...)
 	}
 
 	p.ff.fpBuf = b
@@ -367,10 +378,17 @@ func (p *Platform) ffBeginRecording(key ffKey) {
 		ff.records = make(map[ffKey]*cycleRecord)
 	}
 	existing := ff.records[key]
-	if existing != nil && ff.mode != FFVerify {
+	if existing != nil && ff.mode != FFVerify && !ff.verifyKeys[key] {
 		return // recorded but not replayable; nothing to gain
 	}
-	if existing == nil && len(ff.records) >= ffRecordCap {
+	capN := ffRecordCap
+	if ff.persist != nil {
+		// With a persistent store attached every class is worth keeping:
+		// a jittered run's classes never recur in-process but do recur
+		// across runs of the same seed.
+		capN = ffPersistRecordCap
+	}
+	if existing == nil && len(ff.records) >= capN {
 		return
 	}
 	comps := p.meter.Ordered()
@@ -479,6 +497,7 @@ func (p *Platform) ffFinalizeRecording(ok bool, fp [32]byte) {
 			cr.shallowD[k] = d
 		}
 	}
+	cr.endWakeFired = p.hub.WakeFired()
 
 	base, anchor, running := p.mainTimer.ReplaySnapshot()
 	if base != rec.mt0.base || anchor != rec.mt0.anchor || running != rec.mt0.running {
@@ -533,13 +552,18 @@ func (p *Platform) ffFinalizeRecording(ok bool, fp [32]byte) {
 
 	if rec.expect != nil {
 		if !reflect.DeepEqual(cr, rec.expect) {
-			p.fail("platform: fastforward verify: cycle record diverged from memo (key %x…, dur %v vs %v)",
-				rec.key.fp[:4], cr.dur, rec.expect.dur)
+			src := "memo"
+			if ff.verifyKeys[rec.key] {
+				src = "persistent memo"
+			}
+			p.fail("platform: fastforward verify: cycle record diverged from %s (key %x…, dur %v vs %v)",
+				src, rec.key.fp[:4], cr.dur, rec.expect.dur)
 		}
 		return
 	}
 	ff.records[rec.key] = cr
 	ff.stats.CyclesRecorded++
+	ff.ffPersistAdd(rec.key, cr)
 }
 
 // ---- Replay ----
@@ -553,7 +577,14 @@ func (p *Platform) ffTryReplay(fp [32]byte, cycles []workload.Cycle, idx int) in
 		return 0
 	}
 	c := cycles[idx]
-	rec := ff.records[ffKey{fp: fp, active: c.Active, idle: c.Idle, wake: c.Wake}]
+	key := ffKey{fp: fp, active: c.Active, idle: c.Idle, wake: c.Wake}
+	if ff.verifyKeys[key] {
+		// -memocache=verify: a disk-loaded class is never replayed; the
+		// cycle simulates in full and ffFinalizeRecording diffs it
+		// against the loaded record.
+		return 0
+	}
+	rec := ff.records[key]
 	if rec == nil || !rec.replayable {
 		return 0
 	}
@@ -640,6 +671,7 @@ func (p *Platform) ffReplay(rec *cycleRecord, n int64) {
 	for name, d := range rec.shallowD {
 		p.shallowCounts[name] += d * uint64(n)
 	}
+	p.hub.ReplayRestoreWakeLatch(rec.endWakeFired)
 
 	if rec.mainTimerP.changed {
 		base, _, _ := p.mainTimer.ReplaySnapshot()

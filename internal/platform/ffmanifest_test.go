@@ -30,13 +30,13 @@ import (
 // ffFingerprinted lists the fields (p *Platform) ffFingerprint serializes,
 // directly or through an exact digest/accessor.
 var ffFingerprinted = map[string]bool{
-	"platform.Platform.meter":    true, // per-component draws + efficiency bits
-	"platform.Platform.xtal24":   true, // on, ppb, phase residue
-	"platform.Platform.xtal32":   true, // on, ppb, phase residue when observable
-	"platform.Platform.ring":     true, // gated bit
-	"platform.Platform.mem":      true, // power state + CKE
-	"platform.Platform.procDom":  true, // gated bit
-	"platform.Platform.mainTimer": true, // running bit (value handled by lazy edge arithmetic)
+	"platform.Platform.meter":       true, // per-component draws + efficiency bits
+	"platform.Platform.xtal24":      true, // on, ppb, phase residue
+	"platform.Platform.xtal32":      true, // on, ppb, phase residue when observable
+	"platform.Platform.ring":        true, // gated bit
+	"platform.Platform.mem":         true, // power state + CKE
+	"platform.Platform.procDom":     true, // gated bit
+	"platform.Platform.mainTimer":   true, // running bit (value handled by lazy edge arithmetic)
 	"platform.Platform.saSRAM":      true, // retention state
 	"platform.Platform.computeSRAM": true, // retention state
 	"platform.Platform.bootSRAM":    true, // retention state
@@ -48,10 +48,10 @@ var ffFingerprinted = map[string]bool{
 	"platform.Platform.degraded":    true, // context-store degradation latch
 	"platform.Platform.fplane":      true, // presence + see faultPlane entries
 
-	"timer.FastCounter.running": true,
-	"timer.Unit.mode":           true,
-	"timer.Unit.switchFlag":     true,
-	"timer.Unit.Fast":           true, // running bit via FastCounter entries
+	"timer.FastCounter.running":        true,
+	"timer.Unit.mode":                  true,
+	"timer.Unit.switchFlag":            true,
+	"timer.Unit.Fast":                  true, // running bit via FastCounter entries
 	"timer.CalibrationResult.Step":     true, // raw fixed-point ratio
 	"timer.CalibrationResult.FracBits": true,
 
@@ -80,13 +80,13 @@ var ffFingerprinted = map[string]bool{
 	"chipset.Hub.dom24":       true, // gated bit
 	"chipset.Hub.bank":        true, // via the gpio entries
 
-	"power.Meter.components": true, // count + per-component draws, in registration order
-	"power.Meter.efficiency": true, // exact float bits
+	"power.Meter.components":     true, // count + per-component draws, in registration order
+	"power.Meter.efficiency":     true, // exact float bits
 	"power.Component.drawMW":     true,
 	"power.Component.drawNW":     true,
 	"power.Component.battDrawNW": true,
 
-	"aonio.Ring.gated": true,
+	"aonio.Ring.gated":  true,
 	"dram.Module.state": true,
 	"dram.Module.cke":   true,
 	"sram.Array.state":  true,
@@ -100,66 +100,68 @@ var ffFingerprinted = map[string]bool{
 // boundary, so its boundary value cannot influence behavior.
 var ffExcluded = map[string]string{
 	// ---- platform.Platform ----
-	"platform.Platform.cfg":   "immutable after New; the memo is per-platform, so identical by construction",
-	"platform.Platform.bud":   "immutable calibrated budget table",
-	"platform.Platform.sched": "absolute simulation time is monotonic; every memoized quantity is a delta relative to the boundary, and replay advances the clock in bulk",
-	"platform.Platform.fet":            "see aonio.FET entries; the gate level lives in the fingerprinted fet-control pin",
-	"platform.Platform.bootFSM":        "dead: the boot image is saved by every entry before the exit unpacks it",
-	"platform.Platform.linkP2C":        "links are idle at boundaries (queue-empty gate); see pml.Link entries",
-	"platform.Platform.linkC2P":        "links are idle at boundaries (queue-empty gate); see pml.Link entries",
-	"platform.Platform.cstates":        "immutable C-state table",
-	"platform.Platform.rr":             "immutable after lock at New (sgx range registers)",
-	"platform.Platform.ctxRegion":      "immutable protected-region bounds",
-	"platform.Platform.meeKey":         "immutable key material",
-	"platform.Platform.ctx":            "immutable architectural context (seed-derived at New)",
-	"platform.Platform.ctxImage":       "immutable serialized context bytes",
-	"platform.Platform.ctxHash":        "immutable digest of ctxImage",
-	"platform.Platform.saImage":        "immutable SA retention image",
-	"platform.Platform.cpImage":        "immutable compute retention image",
-	"platform.Platform.mcCfg":          "immutable memory-controller config image",
-	"platform.Platform.pmuVec":         "immutable PMU vector image",
-	"platform.Platform.saBuf":          "dead: scratch, fully rewritten by the next restore before any read",
-	"platform.Platform.cpBuf":          "dead: scratch, fully rewritten by the next restore before any read",
-	"platform.Platform.restoreBuf":     "dead: scratch, fully rewritten by the next restore before any read",
-	"platform.Platform.cCompute":       "pointer into meter; draws fingerprinted via power.Meter",
-	"platform.Platform.cSA":            "pointer into meter; draws fingerprinted via power.Meter",
-	"platform.Platform.cWake":          "pointer into meter; draws fingerprinted via power.Meter",
-	"platform.Platform.cPMU":           "pointer into meter; draws fingerprinted via power.Meter",
-	"platform.Platform.cChipsetAon":    "pointer into meter; draws fingerprinted via power.Meter",
-	"platform.Platform.cMonitor":       "pointer into meter; draws fingerprinted via power.Meter",
-	"platform.Platform.cMisc":          "pointer into meter; draws fingerprinted via power.Meter",
-	"platform.Platform.cFET":           "pointer into meter; draws fingerprinted via power.Meter",
-	"platform.Platform.cVRFixed":       "pointer into meter; draws fingerprinted via power.Meter",
-	"platform.Platform.cVRAonIO":       "pointer into meter; draws fingerprinted via power.Meter",
-	"platform.Platform.cVRSram":        "pointer into meter; draws fingerprinted via power.Meter",
-	"platform.Platform.cVRPmu":         "pointer into meter; draws fingerprinted via power.Meter",
+	"platform.Platform.cfg":             "immutable after New; the memo is per-platform, so identical by construction",
+	"platform.Platform.bud":             "immutable calibrated budget table",
+	"platform.Platform.sched":           "absolute simulation time is monotonic; every memoized quantity is a delta relative to the boundary, and replay advances the clock in bulk",
+	"platform.Platform.fet":             "see aonio.FET entries; the gate level lives in the fingerprinted fet-control pin",
+	"platform.Platform.bootFSM":         "dead: the boot image is saved by every entry before the exit unpacks it",
+	"platform.Platform.linkP2C":         "links are idle at boundaries (queue-empty gate); see pml.Link entries",
+	"platform.Platform.linkC2P":         "links are idle at boundaries (queue-empty gate); see pml.Link entries",
+	"platform.Platform.cstates":         "immutable C-state table",
+	"platform.Platform.rr":              "immutable after lock at New (sgx range registers)",
+	"platform.Platform.ctxRegion":       "immutable protected-region bounds",
+	"platform.Platform.meeKey":          "immutable key material",
+	"platform.Platform.ctx":             "immutable architectural context (seed-derived at New)",
+	"platform.Platform.ctxImage":        "immutable serialized context bytes",
+	"platform.Platform.ctxHash":         "immutable digest of ctxImage",
+	"platform.Platform.saImage":         "immutable SA retention image",
+	"platform.Platform.cpImage":         "immutable compute retention image",
+	"platform.Platform.mcCfg":           "immutable memory-controller config image",
+	"platform.Platform.pmuVec":          "immutable PMU vector image",
+	"platform.Platform.saBuf":           "dead: scratch, fully rewritten by the next restore before any read",
+	"platform.Platform.cpBuf":           "dead: scratch, fully rewritten by the next restore before any read",
+	"platform.Platform.restoreBuf":      "dead: scratch, fully rewritten by the next restore before any read",
+	"platform.Platform.cCompute":        "pointer into meter; draws fingerprinted via power.Meter",
+	"platform.Platform.cSA":             "pointer into meter; draws fingerprinted via power.Meter",
+	"platform.Platform.cWake":           "pointer into meter; draws fingerprinted via power.Meter",
+	"platform.Platform.cPMU":            "pointer into meter; draws fingerprinted via power.Meter",
+	"platform.Platform.cChipsetAon":     "pointer into meter; draws fingerprinted via power.Meter",
+	"platform.Platform.cMonitor":        "pointer into meter; draws fingerprinted via power.Meter",
+	"platform.Platform.cMisc":           "pointer into meter; draws fingerprinted via power.Meter",
+	"platform.Platform.cFET":            "pointer into meter; draws fingerprinted via power.Meter",
+	"platform.Platform.cVRFixed":        "pointer into meter; draws fingerprinted via power.Meter",
+	"platform.Platform.cVRAonIO":        "pointer into meter; draws fingerprinted via power.Meter",
+	"platform.Platform.cVRSram":         "pointer into meter; draws fingerprinted via power.Meter",
+	"platform.Platform.cVRPmu":          "pointer into meter; draws fingerprinted via power.Meter",
 	"platform.Platform.computeActiveMW": "immutable derived constant",
 	"platform.Platform.saActiveMW":      "immutable derived constant",
 	"platform.Platform.saEntryMW":       "immutable derived constant",
 	"platform.Platform.saExitMW":        "immutable derived constant",
-	"platform.Platform.tracker":       "pure output accounting, replayed as exact deltas (open interval folded into the snapshot)",
-	"platform.Platform.inFlow":        "gate: boundaries are outside flows",
-	"platform.Platform.err":           "gate: must be nil for eligibility",
-	"platform.Platform.flowStats":     "pure output accounting, replayed as exact deltas",
-	"platform.Platform.wakeCount":     "pure output accounting, replayed as exact deltas",
-	"platform.Platform.shallowCounts": "pure output accounting, replayed as exact deltas",
-	"platform.Platform.timerEpoch":    "immutable after New (drift baseline)",
-	"platform.Platform.cycleDone":     "dead: flow continuation, installed per cycle before use",
-	"platform.Platform.idleFor":       "dead: set per cycle before use",
-	"platform.Platform.plan":          "dead: set per cycle before use",
-	"platform.Platform.armedEv":       "gate: queue empty at boundaries, so no armed event exists",
-	"platform.Platform.restoredTimer": "write-only diagnostic",
-	"platform.Platform.p2cContinue":   "gate: must be nil for eligibility",
-	"platform.Platform.c2pContinue":   "gate: must be nil for eligibility",
-	"platform.Platform.pendingWake":   "gate: must be nil for eligibility",
-	"platform.Platform.quiesce":       "registered at run setup, executed at the final boundary; replay neither adds nor consumes entries",
-	"platform.Platform.flowTrace":     "output ring; the replayed tail is synthesized from recorded steps",
-	"platform.Platform.cycleIdx":      "monotonic bookkeeping (fault matching); advanced by replay",
-	"platform.Platform.wantAbort":     "gate: must be false for eligibility",
-	"platform.Platform.abortWake":     "gate: must be nil for eligibility",
-	"platform.Platform.entryStartE":   "dead: per-flow scratch, set at entry start before use",
-	"platform.Platform.entryM":        "dead: per-flow scratch, set at entry start before use",
-	"platform.Platform.ff":            "the memo's own bookkeeping; output-invariant by the replay contract (see ffState entries)",
+	"platform.Platform.tracker":         "pure output accounting, replayed as exact deltas (open interval folded into the snapshot)",
+	"platform.Platform.inFlow":          "gate: boundaries are outside flows",
+	"platform.Platform.err":             "gate: must be nil for eligibility",
+	"platform.Platform.flowStats":       "pure output accounting, replayed as exact deltas",
+	"platform.Platform.wakeCount":       "pure output accounting, replayed as exact deltas",
+	"platform.Platform.shallowCounts":   "pure output accounting, replayed as exact deltas",
+	"platform.Platform.timerEpoch":      "immutable after New (drift baseline)",
+	"platform.Platform.cycleDone":       "dead: flow continuation, installed per cycle before use",
+	"platform.Platform.idleFor":         "dead: set per cycle before use",
+	"platform.Platform.plan":            "dead: set per cycle before use",
+	"platform.Platform.armedEv":         "gate: queue empty at boundaries, so no armed event exists",
+	"platform.Platform.restoredTimer":   "write-only diagnostic",
+	"platform.Platform.p2cContinue":     "gate: must be nil for eligibility",
+	"platform.Platform.c2pContinue":     "gate: must be nil for eligibility",
+	"platform.Platform.pendingWake":     "gate: must be nil for eligibility",
+	"platform.Platform.quiesce":         "registered at run setup, executed at the final boundary; replay neither adds nor consumes entries",
+	"platform.Platform.flowTrace":       "output ring; the replayed tail is synthesized from recorded steps",
+	"platform.Platform.cycleIdx":        "monotonic bookkeeping (fault matching); advanced by replay",
+	"platform.Platform.wantAbort":       "gate: must be false for eligibility",
+	"platform.Platform.abortWake":       "gate: must be nil for eligibility",
+	"platform.Platform.entryStartE":     "dead: per-flow scratch, set at entry start before use",
+	"platform.Platform.entryM":          "dead: per-flow scratch, set at entry start before use",
+	"platform.Platform.emramHash":       "memoized digest of the fingerprinted emram content; every emram write installs or invalidates it",
+	"platform.Platform.emramHashOK":     "validity flag of the memoized emram digest; see emramHash",
+	"platform.Platform.ff":              "the memo's own bookkeeping; output-invariant by the replay contract (see ffState entries)",
 
 	// ---- platform.ffState ----
 	"platform.ffState.mode":        "selects memoization, never behavior; byte-identity across modes is the engine's invariant",
@@ -174,6 +176,9 @@ var ffExcluded = map[string]string{
 	"platform.ffState.restoreOp":   "Layer-1 memo bookkeeping, output-invariant",
 	"platform.ffState.records":     "the memo itself",
 	"platform.ffState.rec":         "in-progress recording bookkeeping",
+	"platform.ffState.store":       "persistent memo plumbing; loaded records replay only when the live fingerprint recurs",
+	"platform.ffState.persist":     "persistent memo plumbing; shared bundle handle, output-invariant by the replay contract",
+	"platform.ffState.verifyKeys":  "verify-tier bookkeeping: forces full simulation plus a diff, never changes outputs",
 	"platform.ffState.fpBuf":       "dead: serialization scratch",
 	"platform.ffState.nomScratch":  "dead: replay scratch",
 	"platform.ffState.battScratch": "dead: replay scratch",
@@ -208,23 +213,23 @@ var ffExcluded = map[string]string{
 	"platform.faultPlane.meeForce": "gate: disables the memo while armed",
 
 	// ---- timer ----
-	"timer.FastCounter.name":   "immutable",
-	"timer.FastCounter.dom":    "reference; the domain's gate and source grid are fingerprinted",
-	"timer.FastCounter.sched":  "reference",
-	"timer.FastCounter.base":   "monotonic count; reads are lazy edge arithmetic over the fingerprinted grid, and replay rebases it surgically",
-	"timer.FastCounter.anchor": "monotonic anchor; rebased surgically on replay",
-	"timer.SlowCounter.name":    "immutable",
-	"timer.SlowCounter.osc":     "reference; the oscillator grid is fingerprinted",
-	"timer.SlowCounter.sched":   "reference",
-	"timer.SlowCounter.acc":     "dead: re-seeded from the fast counter at every hand-over; boundaries are in fast mode (Unit.mode is fingerprinted)",
-	"timer.SlowCounter.step":    "set from the fingerprinted calibration Step",
-	"timer.SlowCounter.anchor":  "dead: re-anchored at every hand-over",
-	"timer.SlowCounter.running": "false at boundaries; implied by the fingerprinted Unit.mode",
-	"timer.Unit.sched":   "reference",
-	"timer.Unit.fastDom": "reference; gate and grid fingerprinted",
-	"timer.Unit.slowOsc": "reference; grid fingerprinted",
-	"timer.Unit.Slow":    "see SlowCounter entries",
-	"timer.Unit.Trace":   "gate: cycles with a trace hook installed are ineligible (fig3b observes edges)",
+	"timer.FastCounter.name":          "immutable",
+	"timer.FastCounter.dom":           "reference; the domain's gate and source grid are fingerprinted",
+	"timer.FastCounter.sched":         "reference",
+	"timer.FastCounter.base":          "monotonic count; reads are lazy edge arithmetic over the fingerprinted grid, and replay rebases it surgically",
+	"timer.FastCounter.anchor":        "monotonic anchor; rebased surgically on replay",
+	"timer.SlowCounter.name":          "immutable",
+	"timer.SlowCounter.osc":           "reference; the oscillator grid is fingerprinted",
+	"timer.SlowCounter.sched":         "reference",
+	"timer.SlowCounter.acc":           "dead: re-seeded from the fast counter at every hand-over; boundaries are in fast mode (Unit.mode is fingerprinted)",
+	"timer.SlowCounter.step":          "set from the fingerprinted calibration Step",
+	"timer.SlowCounter.anchor":        "dead: re-anchored at every hand-over",
+	"timer.SlowCounter.running":       "false at boundaries; implied by the fingerprinted Unit.mode",
+	"timer.Unit.sched":                "reference",
+	"timer.Unit.fastDom":              "reference; gate and grid fingerprinted",
+	"timer.Unit.slowOsc":              "reference; grid fingerprinted",
+	"timer.Unit.Slow":                 "see SlowCounter entries",
+	"timer.Unit.Trace":                "gate: cycles with a trace hook installed are ineligible (fig3b observes edges)",
 	"timer.CalibrationResult.NFast":   "immutable measurement record",
 	"timer.CalibrationResult.NSlow":   "immutable measurement record",
 	"timer.CalibrationResult.Window":  "immutable measurement record",
@@ -276,9 +281,9 @@ var ffExcluded = map[string]string{
 	"clock.Oscillator.sched":     "reference",
 	"clock.Oscillator.denom":     "derived from the fingerprinted nominalHz and ppb",
 	"clock.Oscillator.OnPower":   "immutable wiring",
-	"clock.Domain.name":   "immutable",
-	"clock.Domain.src":    "reference; the source grid is fingerprinted",
-	"clock.Domain.OnGate": "immutable wiring",
+	"clock.Domain.name":          "immutable",
+	"clock.Domain.src":           "reference; the source grid is fingerprinted",
+	"clock.Domain.OnGate":        "immutable wiring",
 
 	// ---- chipset.Hub ----
 	"chipset.Hub.sched":      "reference",
@@ -290,8 +295,8 @@ var ffExcluded = map[string]string{
 	"chipset.Hub.wakes":      "pure output accounting, replayed as exact deltas",
 
 	// ---- power ----
-	"power.Meter.sched":  "reference",
-	"power.Meter.byName": "immutable registry (structure fixed at New; draws fingerprinted via components)",
+	"power.Meter.sched":         "reference",
+	"power.Meter.byName":        "immutable registry (structure fixed at New; draws fingerprinted via components)",
 	"power.Component.name":      "immutable",
 	"power.Component.group":     "immutable",
 	"power.Component.supply":    "immutable",
@@ -305,10 +310,10 @@ var ffExcluded = map[string]string{
 	"aonio.FET.ring":            "reference; the ring gate is fingerprinted",
 	"aonio.FET.LeakageFraction": "immutable after New",
 	"aonio.FET.switches":        "diagnostic counter, not part of Result",
-	"aonio.Ring.draws":       "immutable registered loads",
-	"aonio.Ring.gateCount":   "diagnostic counter, not part of Result",
-	"aonio.Ring.ungateCount": "diagnostic counter, not part of Result",
-	"aonio.Ring.OnDraw":      "immutable wiring",
+	"aonio.Ring.draws":          "immutable registered loads",
+	"aonio.Ring.gateCount":      "diagnostic counter, not part of Result",
+	"aonio.Ring.ungateCount":    "diagnostic counter, not part of Result",
+	"aonio.Ring.OnDraw":         "immutable wiring",
 
 	// ---- sram ----
 	"sram.Array.name":    "immutable",

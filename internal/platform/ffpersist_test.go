@@ -1,0 +1,293 @@
+package platform
+
+import (
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"odrips/internal/memostore"
+	"odrips/internal/power"
+	"odrips/internal/sim"
+	"odrips/internal/workload"
+)
+
+// withStore opens a default store for the test and tears the process
+// globals back down afterwards.
+func withStore(t *testing.T, dir string, mode memostore.Mode) *memostore.Store {
+	t.Helper()
+	s, err := memostore.Open(dir, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memostore.SetDefault(s)
+	t.Cleanup(func() {
+		memostore.SetDefault(nil)
+		ResetPersistentMemos()
+	})
+	return s
+}
+
+func runStandby(t *testing.T, cfg Config, cycles []workload.Cycle) (Result, FFStats) {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.RunCycles(cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, p.FFStats()
+}
+
+func TestPersistBundleCodecRoundTrip(t *testing.T) {
+	mk := func(mut func(*cycleRecord)) *cycleRecord {
+		cr := &cycleRecord{
+			dur:        30 * sim.Second,
+			endFP:      [32]byte{1, 2, 3},
+			replayable: true,
+			nomD:       []power.Energy{{PJ: 1, ZJ: 2}, {PJ: -3, ZJ: 4}},
+			battD:      []power.Energy{{PJ: 5}, {ZJ: -6}},
+			idleByCmpD: []power.Energy{{}, {PJ: 7, ZJ: 8}},
+			resD:       [ffNumStates]sim.Duration{1, 2, 3, 4},
+			enD:        [ffNumStates]power.Energy{{PJ: 9}, {}, {ZJ: 10}, {}},
+			transD:     11,
+			entriesD:   1, exitsD: 1,
+			entryTotalD: 12, exitTotalD: 13,
+			ctxSaveLat: 14, ctxRestore: 15, ctxVerifiedD: 16,
+			wakeD:        [3]uint64{1, 0, 2},
+			hubWakeD:     [3]uint64{0, 3, 0},
+			endWakeFired: true,
+			shallowD:     map[string]uint64{},
+			mainTimerP:   ctrPatch{changed: true, baseD: 17, anchorOff: -18, running: true},
+			unitFastP:    ctrPatch{},
+			x24P:         oscPatch{changed: true, stableOff: 19},
+			ltrTimers:    nil,
+			engPresent:   true, rootD: 20, endPrimed: true,
+			steps: make([]FlowStep, 0),
+		}
+		if mut != nil {
+			mut(cr)
+		}
+		return cr
+	}
+	records := map[ffKey]*cycleRecord{
+		{fp: [32]byte{0xAA}, active: 0, idle: 30 * sim.Second, wake: workload.WakeTimer}: mk(nil),
+		{fp: [32]byte{0xBB}, active: 5, idle: 29 * sim.Second, wake: workload.WakeExternal}: mk(func(cr *cycleRecord) {
+			cr.shallowD["C6"] = 2
+			cr.ltrTimers = []ltrPatch{{owner: "os-wake", rel: -42}, {owner: "nic", rel: 7}}
+			cr.steps = []FlowStep{
+				{Flow: "entry", Step: "save-ctx-dram", At: 100, Duration: 50, EnergyUJ: 1.25},
+				{Flow: "exit", Step: "restore", At: 200, Duration: 60, EnergyUJ: 0},
+			}
+			cr.replayable = false
+		}),
+	}
+	decoded, err := ffDecodeBundle(ffEncodeBundle(records))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(decoded, records) {
+		t.Fatalf("bundle did not round-trip:\n got %#v\nwant %#v", decoded, records)
+	}
+}
+
+func TestPersistBundleDecodeRejectsDamage(t *testing.T) {
+	records := map[ffKey]*cycleRecord{
+		{fp: [32]byte{1}}: {
+			nomD: []power.Energy{{PJ: 1}}, battD: []power.Energy{{}}, idleByCmpD: []power.Energy{{}},
+			shallowD: map[string]uint64{}, steps: make([]FlowStep, 0),
+		},
+	}
+	good := ffEncodeBundle(records)
+	for name, bad := range map[string][]byte{
+		"truncated":     good[:len(good)-3],
+		"trailing":      append(append([]byte(nil), good...), 1),
+		"empty":         {},
+		"version-skew":  append([]byte{99}, good[1:]...),
+		"hostile-count": append(append([]byte(nil), good[:8]...), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF),
+	} {
+		if _, err := ffDecodeBundle(bad); err == nil {
+			t.Errorf("%s: decode accepted damaged bundle", name)
+		}
+	}
+}
+
+// TestPersistWarmReplay is the tentpole's core behavior: a second
+// "process" (bundle cache dropped, disk kept) replays every cycle of a
+// jittered workload from the persisted memo, byte-identically.
+func TestPersistWarmReplay(t *testing.T) {
+	dir := t.TempDir()
+	cfg := ODRIPSConfig()
+	cycles := workload.ConnectedStandby(40, 7)
+
+	// Baseline without any store.
+	base, _ := runStandby(t, cfg, cycles)
+
+	store := withStore(t, dir, memostore.RW)
+	cold, coldStats := runStandby(t, cfg, cycles)
+	if !reflect.DeepEqual(base, cold) {
+		t.Fatal("rw cold run diverged from store-off run")
+	}
+	if coldStats.CyclesRecorded == 0 {
+		t.Fatal("cold run recorded nothing")
+	}
+	if st := store.Stats(); st.Writes == 0 {
+		t.Fatalf("cold run persisted nothing: %+v", st)
+	}
+
+	// A boundary with a pending scheduler event (e.g. after a thermal
+	// wake) is ineligible in cold and warm runs alike, so such cycles can
+	// never be memoized; everything the cold run recorded must replay.
+	want := coldStats.CyclesRecorded
+	if want < uint64(len(cycles))-4 {
+		t.Fatalf("cold run recorded only %d/%d cycles", want, len(cycles))
+	}
+
+	// Same process, records shared in memory through the bundle.
+	warmMem, memStats := runStandby(t, cfg, cycles)
+	if !reflect.DeepEqual(base, warmMem) {
+		t.Fatal("in-process warm run diverged")
+	}
+	if memStats.CyclesReplayed != want {
+		t.Fatalf("in-process warm run replayed %d cycles, cold recorded %d", memStats.CyclesReplayed, want)
+	}
+
+	// Fresh "process": drop the in-memory bundles, reload from disk.
+	ResetPersistentMemos()
+	warmDisk, diskStats := runStandby(t, cfg, cycles)
+	if !reflect.DeepEqual(base, warmDisk) {
+		t.Fatal("disk-warm run diverged")
+	}
+	if diskStats.CyclesReplayed != want {
+		t.Fatalf("disk-warm run replayed %d cycles, cold recorded %d", diskStats.CyclesReplayed, want)
+	}
+	if diskStats.CyclesRecorded != 0 {
+		t.Fatalf("disk-warm run re-recorded %d cycles", diskStats.CyclesRecorded)
+	}
+}
+
+// TestPersistVerifyCleanAndRO: verify mode re-simulates every loaded
+// class (no replays, identical output); ro mode replays but never
+// writes.
+func TestPersistVerifyCleanAndRO(t *testing.T) {
+	dir := t.TempDir()
+	cfg := ODRIPSConfig()
+	cycles := workload.ConnectedStandby(25, 3)
+	base, _ := runStandby(t, cfg, cycles)
+
+	withStore(t, dir, memostore.RW)
+	runStandby(t, cfg, cycles)
+
+	ResetPersistentMemos()
+	withStore(t, dir, memostore.Verify)
+	verified, verStats := runStandby(t, cfg, cycles)
+	if !reflect.DeepEqual(base, verified) {
+		t.Fatal("verify run diverged")
+	}
+	if verStats.CyclesReplayed != 0 {
+		t.Fatalf("verify mode replayed %d disk-loaded cycles", verStats.CyclesReplayed)
+	}
+
+	ResetPersistentMemos()
+	entries := func() int {
+		names, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(names)
+	}
+	before := entries()
+	roStore := withStore(t, dir, memostore.RO)
+	roRes, roStats := runStandby(t, cfg, cycles)
+	if !reflect.DeepEqual(base, roRes) {
+		t.Fatal("ro run diverged")
+	}
+	if roStats.CyclesReplayed != uint64(len(cycles)) {
+		t.Fatalf("ro warm run replayed %d/%d", roStats.CyclesReplayed, len(cycles))
+	}
+	if got := entries(); got != before {
+		t.Fatalf("ro mode changed the store: %d -> %d entries", before, got)
+	}
+	if st := roStore.Stats(); st.Writes != 0 {
+		t.Fatalf("ro mode wrote: %+v", st)
+	}
+}
+
+// TestPersistVerifyDetectsTamper plants a subtly wrong record in the
+// store and checks -memocache=verify fails the run instead of trusting
+// it.
+func TestPersistVerifyDetectsTamper(t *testing.T) {
+	dir := t.TempDir()
+	cfg := ODRIPSConfig()
+	cycles := workload.ConnectedStandby(10, 5)
+
+	store := withStore(t, dir, memostore.RW)
+	runStandby(t, cfg, cycles)
+
+	// Tamper: load the bundle, nudge one record's energy delta, save it
+	// back through the store (valid envelope, wrong content).
+	key := []byte(ffConfigKey(cfg))
+	payload, ok, err := store.Load("cycles", key)
+	if err != nil || !ok {
+		t.Fatalf("bundle load: ok=%v err=%v", ok, err)
+	}
+	records, err := ffDecodeBundle(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cr := range records {
+		cr.nomD[0].PJ++
+	}
+	store.Save("cycles", key, ffEncodeBundle(records))
+
+	ResetPersistentMemos()
+	withStore(t, dir, memostore.Verify)
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RunCycles(cycles); err == nil || !strings.Contains(err.Error(), "persistent memo") {
+		t.Fatalf("verify accepted a tampered record (err=%v)", err)
+	}
+}
+
+// TestPersistCorruptEntryRecomputes: a damaged store entry degrades to a
+// cold run with identical results.
+func TestPersistCorruptEntryRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	cfg := ODRIPSConfig()
+	cycles := workload.ConnectedStandby(10, 11)
+	base, _ := runStandby(t, cfg, cycles)
+
+	store := withStore(t, dir, memostore.RW)
+	runStandby(t, cfg, cycles)
+	path := store.EntryPath("cycles", []byte(ffConfigKey(cfg)))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	ResetPersistentMemos()
+	res, stats := runStandby(t, cfg, cycles)
+	if !reflect.DeepEqual(base, res) {
+		t.Fatal("corrupt-cache run diverged from cold run")
+	}
+	if stats.CyclesReplayed != 0 {
+		t.Fatalf("corrupt cache replayed %d cycles", stats.CyclesReplayed)
+	}
+	if st := store.Stats(); st.Corrupt == 0 {
+		t.Fatalf("corruption not observed: %+v", st)
+	}
+	// The recompute rewrote a valid bundle; a third process is warm again.
+	ResetPersistentMemos()
+	_, warmStats := runStandby(t, cfg, cycles)
+	if warmStats.CyclesReplayed != uint64(len(cycles)) {
+		t.Fatalf("self-heal failed: replayed %d/%d", warmStats.CyclesReplayed, len(cycles))
+	}
+}

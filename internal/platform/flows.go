@@ -316,6 +316,10 @@ func (p *Platform) ctxSaveStep() step {
 	case p.effEMRAM():
 		return step{name: "save-ctx-emram", run: func(next func()) {
 			p.emram = append(p.emram[:0], p.ctxImage...)
+			// The bytes are exactly ctxImage, whose digest was computed
+			// once at New; install it so the boundary fingerprint never
+			// re-hashes an unchanged image.
+			p.emramHash, p.emramHashOK = p.ctxHash, true
 			lat := sim.FromSeconds(float64(len(p.ctxImage)) / bud.EMRAMPortBW)
 			p.flowStats.ctxSaveLat = lat
 			p.sched.After(lat, "flow.save-ctx-emram", func() {
@@ -450,6 +454,18 @@ func (p *Platform) onWake(src chipset.WakeSource, _ sim.Time) {
 	p.tracker.to(power.Exit)
 	p.applyPhase(phTrailer)
 	exitStart := p.sched.Now()
+	if src == chipset.WakeThermal {
+		// The EC deasserts its line as soon as servicing begins, so the
+		// next thermal event produces a fresh rising edge. Deasserting here
+		// rather than at flow completion lets the falling-edge sample land
+		// inside the exit flow (it is quantized to the sampling clock), so
+		// the cycle ends with an empty event queue and stays eligible for
+		// fast-forward memoization.
+		if err := p.hub.ThermalPin().Drive(false); err != nil {
+			p.fail("platform: thermal deassert: %v", err)
+			return
+		}
+	}
 
 	bud := p.bud
 	var steps []step
@@ -506,14 +522,6 @@ func (p *Platform) onWake(src chipset.WakeSource, _ sim.Time) {
 		p.state = power.Active
 		p.tracker.to(power.Active)
 		p.applyPhase(phActive)
-		if src == chipset.WakeThermal {
-			// The EC deasserts its line once the wake is serviced, so the
-			// next thermal event produces a fresh rising edge.
-			if err := p.hub.ThermalPin().Drive(false); err != nil {
-				p.fail("platform: thermal deassert: %v", err)
-				return
-			}
-		}
 		p.flowStats.exits++
 		d := p.sched.Now().Sub(exitStart)
 		p.flowStats.exitTotal += d

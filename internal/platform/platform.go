@@ -69,6 +69,13 @@ type Platform struct {
 	ctxHash     [32]byte
 	emram       []byte // ODRIPS-MRAM: on-chip non-volatile context store
 
+	// emramHash memoizes sha256(emram) for the boundary fingerprint;
+	// every emram write either installs the matching digest (the save
+	// flow rewrites ctxImage, whose digest is precomputed) or clears
+	// emramHashOK (fault injection flips bits in place).
+	emramHash   [32]byte
+	emramHashOK bool
+
 	// Precomputed per-cycle constants and pooled restore buffers. The
 	// context is immutable after New, so the split images, boot config,
 	// and PMU vector never change; restores verify into fixed buffers so
@@ -122,9 +129,9 @@ type Platform struct {
 	// Fault plane (nil unless InjectFaults installed a plan) and the
 	// recovery-edge state it drives.
 	fplane      *faultPlane
-	cycleIdx    int             // 0-based cycle index within RunCycles
-	degraded    bool            // demoted to DRIPS-with-retention-SRAM
-	wantAbort   bool            // next entry-racing wake aborts instead of latching
+	cycleIdx    int                 // 0-based cycle index within RunCycles
+	degraded    bool                // demoted to DRIPS-with-retention-SRAM
+	wantAbort   bool                // next entry-racing wake aborts instead of latching
 	abortWake   *chipset.WakeSource // abort requested; unwind at next step boundary
 	entryStartE power.Energy        // battery energy at entry start (abort accounting)
 	entryM      entryMilestones
@@ -355,6 +362,7 @@ func New(cfg Config) (*Platform, error) {
 	p.tracker = newTracker(s, m)
 	p.state = power.Active
 	p.applyPhase(phActive)
+	p.ffAttachPersist()
 	return p, nil
 }
 

@@ -118,6 +118,7 @@ func (p *Platform) RunCycles(cycles []workload.Cycle) (Result, error) {
 	if idx != len(cycles) {
 		return Result{}, fmt.Errorf("platform: run stalled after %d/%d cycles", idx, len(cycles))
 	}
+	p.ffFlushPersist()
 	return p.buildResult(start, len(cycles)), nil
 }
 
