@@ -3,7 +3,7 @@ PKGS     := ./...
 STAMP    := $(shell date -u +%Y%m%dT%H%M%SZ)
 FUZZTIME ?= 60s
 
-.PHONY: all build test vet lint race verify fuzz bench bench-smoke bench-sweep bench-baseline-1x bench-gate bench-warm benchdiff profile profile-diff clean
+.PHONY: all build test vet lint lint-fixtures race verify fuzz bench bench-smoke bench-sweep bench-baseline-1x bench-gate bench-warm benchdiff profile profile-diff clean
 
 all: build test
 
@@ -16,11 +16,20 @@ test:
 vet:
 	$(GO) vet $(PKGS)
 
-# The repo-specific determinism/units lint suite (internal/analysis): seeded
-# randomness only, fixed-point Float() confined to diagnostics, no
-# order-sensitive map iteration, no lock copies or stale sim.Event caches.
+# The repo-specific determinism/units/concurrency lint suite
+# (internal/analysis): seeded randomness only, fixed-point Float() confined
+# to diagnostics, no order-sensitive map iteration, no lock copies or stale
+# sim.Event caches, no loose package-level state, joined goroutines,
+# handled fail-safe load errors, pinned codec schema hashes, and a
+# vet-time-exhaustive fingerprint manifest.
 lint:
 	$(GO) run ./cmd/odrips-vet $(PKGS)
+
+# The lint suite's own fixture tests: every rule's must-flag/must-pass
+# corpus under testdata/src, plus the directive machinery. Fast feedback
+# when hacking on internal/analysis without running the whole test tier.
+lint-fixtures:
+	$(GO) test -run 'TestFixtures|TestDirectiveFindings|TestMustFlagFixturesFailTheBuild' ./internal/analysis
 
 race:
 	$(GO) test -race $(PKGS)

@@ -3,19 +3,26 @@
 //
 //	file:line: [rule] message
 //
-// exiting 1 when any finding survives, 2 when the tree cannot be loaded.
-// It is stdlib-only by design — `make lint` must work on a bare toolchain —
-// and is wired into `make verify` and CI.
+// or, under -json, as one JSON object per line
+//
+//	{"file":"internal/sim/sim.go","line":42,"rule":"walltime","message":"..."}
+//
+// Exit codes are part of the contract CI scripts rely on: 0 with no
+// findings, 1 when any finding survives, 2 when the tree cannot be loaded
+// (parse or type error). The tool is stdlib-only by design — `make lint`
+// must work on a bare toolchain — and is wired into `make verify` and CI
+// (.github/odrips-vet-matcher.json turns the plain output into annotations).
 //
 // Usage:
 //
-//	odrips-vet [-list] [packages]
+//	odrips-vet [-list] [-json] [packages]
 //
 // where packages are directories or /... subtree patterns relative to the
 // module root (default ./...).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,17 +31,27 @@ import (
 	"odrips/internal/analysis"
 )
 
+// jsonFinding is the -json wire form: one object per line, stable field
+// names, so CI post-processors need no positional parsing.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list the lint rules and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON, one object per line")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: odrips-vet [-list] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: odrips-vet [-list] [-json] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
 	if *list {
 		for _, a := range analysis.Analyzers() {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -49,6 +66,7 @@ func main() {
 		os.Exit(2)
 	}
 	cwd, _ := os.Getwd()
+	enc := json.NewEncoder(os.Stdout)
 	for _, f := range findings {
 		// Relative paths keep output stable across checkouts and clickable
 		// in editors.
@@ -57,7 +75,17 @@ func main() {
 				f.Pos.Filename = rel
 			}
 		}
-		fmt.Println(f)
+		if *jsonOut {
+			if err := enc.Encode(jsonFinding{
+				File: f.Pos.Filename, Line: f.Pos.Line,
+				Rule: f.Rule, Message: f.Message,
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "odrips-vet: %v\n", err)
+				os.Exit(2)
+			}
+		} else {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "odrips-vet: %d finding(s)\n", len(findings))

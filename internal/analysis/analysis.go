@@ -24,15 +24,32 @@
 //	            copied by value.
 //	handle    - sim.Event handles must not be stored in maps or slices,
 //	            where they outlive Cancel and go stale silently.
+//	globalstate - internal/* packages must not hold loose package-level
+//	            mutable state; process-scoped state lives behind a single
+//	            owning struct (or a store-attached view) with an audited
+//	            allow.
+//	gotrack   - every go statement joins through a WaitGroup.Done in its
+//	            body or carries an allow; goroutines must not launch inside
+//	            a range over a map.
+//	errdrop   - errors from fail-safe load paths (memostore Load*,
+//	            faults.Parse, ffDecode*) must be handled, never blanked
+//	            with _.
+//	schemahash - string constants marked //odrips:schema must equal the
+//	            structural hash of the named types they pin, so codec-type
+//	            changes force a version bump.
+//	ffclass   - every field of the structs registered in ffManifestTypes
+//	            is classified in ffFingerprinted or ffExcluded (the static
+//	            twin of TestFingerprintManifestExhaustive).
 //
 // Intentional exceptions are annotated in source with a line directive
 //
-//	//odrips:allow <rule> <reason>
+//	//odrips:allow <rule>[,<rule>...] <reason>
 //
-// which suppresses findings of <rule> on its own line and on the line
-// directly below. The reason is mandatory and unused or malformed
-// directives are themselves findings (rule "directive"), so the exception
-// list stays audited.
+// which suppresses findings of the named rules on its own line and on the
+// line directly below. The reason is mandatory and unused or malformed
+// directives are themselves findings (rule "directive") — per rule, so a
+// two-rule directive where only one rule fires still reports the dead
+// half — keeping the exception list audited.
 package analysis
 
 import (
@@ -41,6 +58,7 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Finding is one rule violation.
@@ -93,12 +111,19 @@ func (p *Pass) IsTestFile(pos token.Pos) bool {
 
 // Analyzers returns the full suite in execution order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{walltimeAnalyzer, fpfloatAnalyzer, maporderAnalyzer, locksAnalyzer}
+	return []*Analyzer{
+		walltimeAnalyzer, fpfloatAnalyzer, maporderAnalyzer, locksAnalyzer,
+		globalstateAnalyzer, gotrackAnalyzer, errdropAnalyzer,
+		schemahashAnalyzer, ffclassAnalyzer,
+	}
 }
 
 // Rules returns every rule name an //odrips:allow directive may name.
 func Rules() []string {
-	return []string{"walltime", "fpfloat", "maporder", "mutexcopy", "handle"}
+	return []string{
+		"walltime", "fpfloat", "maporder", "mutexcopy", "handle",
+		"globalstate", "gotrack", "errdrop", "schemahash", "ffclass",
+	}
 }
 
 // Run loads the patterns relative to the module containing dir, runs the
@@ -117,29 +142,28 @@ func Run(dir string, patterns []string) ([]Finding, error) {
 	return RunPackages(loader.Fset(), pkgs), nil
 }
 
-// RunPackages runs the suite over already-loaded units.
+// RunPackages runs the suite over already-loaded units. Units are
+// independent once loaded (type info and ASTs are read-only, FileSet
+// position lookups are internally locked), so the analyzer phase fans out
+// one goroutine per unit into an indexed slot; output order comes from the
+// final merge and sort, never from scheduling, so findings are
+// byte-identical at any parallelism.
 func RunPackages(fset *token.FileSet, pkgs []*Package) []Finding {
+	units := make([][]Finding, len(pkgs))
+	var wg sync.WaitGroup
+	wg.Add(len(pkgs))
+	for i := range pkgs {
+		go func() {
+			defer wg.Done()
+			units[i] = lintUnit(fset, pkgs[i])
+		}()
+	}
+	wg.Wait()
+
 	var raw []Finding
 	dirs := map[string][]*directive{} // filename -> directives, parsed once
-	for _, pkg := range pkgs {
-		var unit []Finding
-		for _, a := range Analyzers() {
-			pass := &Pass{Package: pkg, Fset: fset, analyzer: a, found: &unit}
-			a.Run(pass)
-		}
-		// The in-package test unit re-checks the plain files alongside the
-		// _test.go files; keep only the test-file findings so the plain
-		// unit's are not duplicated.
-		if pkg.Test && !pkg.XTest {
-			kept := unit[:0]
-			for _, f := range unit {
-				if strings.HasSuffix(f.Pos.Filename, "_test.go") {
-					kept = append(kept, f)
-				}
-			}
-			unit = kept
-		}
-		raw = append(raw, unit...)
+	for i, pkg := range pkgs {
+		raw = append(raw, units[i]...)
 		for _, f := range pkg.Files {
 			name := fset.Position(f.Pos()).Filename
 			if _, ok := dirs[name]; !ok {
@@ -161,7 +185,32 @@ func RunPackages(fset *token.FileSet, pkgs []*Package) []Finding {
 	return findings
 }
 
-// directive is one parsed //odrips:allow comment.
+// lintUnit runs every analyzer over one unit and returns its raw findings.
+func lintUnit(fset *token.FileSet, pkg *Package) []Finding {
+	var unit []Finding
+	for _, a := range Analyzers() {
+		pass := &Pass{Package: pkg, Fset: fset, analyzer: a, found: &unit}
+		a.Run(pass)
+	}
+	// The in-package test unit re-checks the plain files alongside the
+	// _test.go files; keep only the test-file findings so the plain
+	// unit's are not duplicated.
+	if pkg.Test && !pkg.XTest {
+		kept := unit[:0]
+		for _, f := range unit {
+			if strings.HasSuffix(f.Pos.Filename, "_test.go") {
+				kept = append(kept, f)
+			}
+		}
+		unit = kept
+	}
+	return unit
+}
+
+// directive is one parsed //odrips:allow comment, exploded to one entry
+// per named rule: `//odrips:allow maporder,walltime reason` yields two
+// entries sharing a position, so suppression and unused detection stay
+// per-rule.
 type directive struct {
 	pos    token.Position
 	rule   string
@@ -191,23 +240,36 @@ func collectDirectives(fset *token.FileSet, f *ast.File, raw *[]Finding) []*dire
 			}
 			fields := strings.Fields(rest)
 			if len(fields) == 0 {
-				report("allow directive names no rule; want %q", allowPrefix+" <rule> <reason>")
+				report("allow directive names no rule; want %q", allowPrefix+" <rule>[,<rule>...] <reason>")
 				continue
 			}
-			rule := fields[0]
-			if !knownRule(rule) {
-				report("allow directive names unknown rule %q (have %s)", rule, strings.Join(Rules(), ", "))
+			rules := strings.Split(fields[0], ",")
+			bad := false
+			for _, rule := range rules {
+				if rule == "" {
+					report("allow directive has an empty rule in %q; want comma-separated rule names", fields[0])
+					bad = true
+					continue
+				}
+				if !knownRule(rule) {
+					report("allow directive names unknown rule %q (have %s)", rule, strings.Join(Rules(), ", "))
+					bad = true
+				}
+			}
+			if bad {
 				continue
 			}
 			if len(fields) == 1 {
-				report("allow directive for %q has no reason; exceptions must be justified in-line", rule)
+				report("allow directive for %q has no reason; exceptions must be justified in-line", fields[0])
 				continue
 			}
-			out = append(out, &directive{
-				pos:    pos,
-				rule:   rule,
-				reason: strings.Join(fields[1:], " "),
-			})
+			for _, rule := range rules {
+				out = append(out, &directive{
+					pos:    pos,
+					rule:   rule,
+					reason: strings.Join(fields[1:], " "),
+				})
+			}
 		}
 	}
 	return out

@@ -68,7 +68,11 @@ func parseWant(t *testing.T, name string) map[string][]string {
 // the must-allow lines (clean idioms and //odrips:allow escapes) are not,
 // and nothing else fires.
 func TestFixtures(t *testing.T) {
-	for _, rule := range []string{"walltime", "fpfloat", "maporder", "mutexcopy", "handle"} {
+	for _, rule := range []string{
+		"walltime", "fpfloat", "maporder", "mutexcopy", "handle",
+		"globalstate", "gotrack", "errdrop", "schemahash", "ffclass",
+		"multirule", // comma-separated directives; exercises several rules at once
+	} {
 		t.Run(rule, func(t *testing.T) {
 			want := parseWant(t, rule)
 			got := map[string][]string{}

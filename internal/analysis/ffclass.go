@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+)
+
+// ffclassAnalyzer is the static companion to the fast-forward fingerprint
+// manifest (platform/ffmanifest_test.go). The reflect-based
+// TestFingerprintManifestExhaustive already fails the test tier when a
+// field of a registered state struct is unclassified — but only when the
+// tests run. This rule moves the same exhaustiveness check to vet time, so
+// `make lint` (and the editor) flags the new field the moment it is added,
+// before a test cycle.
+//
+// The rule activates in any unit that declares the manifest triple:
+//
+//	var ffFingerprinted = map[string]bool{...}
+//	var ffExcluded = map[string]string{...}
+//	func ffManifestTypes() []reflect.Type { ... }
+//
+// The registered types are recovered from the (*T)(nil) type expressions
+// in ffManifestTypes; keys follow reflect.Type.String() form,
+// "pkgname.Type.field". Every field of every registered struct must appear
+// in exactly one of the two maps.
+var ffclassAnalyzer = &Analyzer{
+	Name: "ffclass",
+	Doc:  "every field of the ffManifestTypes structs is classified in ffFingerprinted or ffExcluded",
+	Run:  runFFClass,
+}
+
+func runFFClass(pass *Pass) {
+	var fpLit, exLit *ast.CompositeLit
+	var manifestFn *ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv == nil && d.Name.Name == "ffManifestTypes" && d.Body != nil {
+					manifestFn = d
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						if i >= len(vs.Values) {
+							continue
+						}
+						cl, ok := vs.Values[i].(*ast.CompositeLit)
+						if !ok {
+							continue
+						}
+						switch name.Name {
+						case "ffFingerprinted":
+							fpLit = cl
+						case "ffExcluded":
+							exLit = cl
+						}
+					}
+				}
+			}
+		}
+	}
+	if fpLit == nil || exLit == nil || manifestFn == nil {
+		return
+	}
+	if obj, ok := pass.Info.Defs[manifestFn.Name].(*types.Func); ok {
+		sig := obj.Type().(*types.Signature)
+		if sig.Results().Len() != 1 || types.TypeString(sig.Results().At(0).Type(), nil) != "[]reflect.Type" {
+			return
+		}
+	}
+
+	fp := manifestKeys(pass, fpLit)
+	ex := manifestKeys(pass, exLit)
+
+	// The registered struct types: every (*T) type expression inside
+	// ffManifestTypes' body (the reflect.TypeOf((*T)(nil)).Elem() idiom).
+	ast.Inspect(manifestFn.Body, func(n ast.Node) bool {
+		se, ok := n.(*ast.StarExpr)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[se]
+		if !ok || !tv.IsType() {
+			return true
+		}
+		ptr, ok := tv.Type.(*types.Pointer)
+		if !ok {
+			return true
+		}
+		named, ok := ptr.Elem().(*types.Named)
+		if !ok {
+			return true
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			return true
+		}
+		// reflect.Type.String() renders pkgname.Type (package short name).
+		typeStr := named.Obj().Name()
+		if p := named.Obj().Pkg(); p != nil {
+			typeStr = p.Name() + "." + typeStr
+		}
+		var missing []string
+		for i := 0; i < st.NumFields(); i++ {
+			key := typeStr + "." + st.Field(i).Name()
+			_, inFP := fp[key]
+			_, inEx := ex[key]
+			switch {
+			case !inFP && !inEx:
+				missing = append(missing, st.Field(i).Name())
+			case inFP && inEx:
+				pass.Reportf(fp[key].Pos(),
+					"manifest key %s is both fingerprinted and excluded; pick one", key)
+			}
+		}
+		sort.Strings(missing)
+		for _, field := range missing {
+			pass.Reportf(se.Pos(),
+				"field %s.%s is not classified in the fingerprint manifest; add it to ffFingerprinted or to ffExcluded with a reason",
+				typeStr, field)
+		}
+		return true
+	})
+}
+
+// manifestKeys extracts the constant string keys of a map composite
+// literal, each mapped to its position.
+func manifestKeys(pass *Pass, cl *ast.CompositeLit) map[string]ast.Node {
+	out := map[string]ast.Node{}
+	for _, el := range cl.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		tv, ok := pass.Info.Types[kv.Key]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			continue
+		}
+		out[constant.StringVal(tv.Value)] = kv.Key
+	}
+	return out
+}

@@ -1,0 +1,215 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// schemahashAnalyzer pins the persisted codec schemas. The memostore's
+// build-fingerprint versioning protects cache entries across *code*
+// changes, but the bundle codec's wire layout is hand-rolled: adding a
+// field to cycleRecord without bumping ffBundleVersion silently decodes
+// stale bytes into the wrong fields. This rule makes the layout a checked
+// artifact. A string constant annotated
+//
+//	//odrips:schema <RootType> <RootType>...
+//
+// records the sha256 over a canonical structural description of the named
+// types reachable from the roots (field names, field order, and underlying
+// types of every module-internal named type in the closure; external named
+// types appear by qualified name only). If any serialized type changes
+// shape, the computed hash diverges from the recorded constant and vet
+// fails with both hashes — the fix is to bump the schema/bundle version
+// AND re-record the constant from the message, making "changed the codec
+// types, forgot the version" impossible to merge silently.
+var schemahashAnalyzer = &Analyzer{
+	Name: "schemahash",
+	Doc:  "string consts marked //odrips:schema must equal the structural hash of their root types' closure",
+	Run:  runSchemahash,
+}
+
+func runSchemahash(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				doc := vs.Doc
+				if doc == nil {
+					doc = gd.Doc
+				}
+				roots := schemaMarkerTypes(doc)
+				if roots == nil {
+					continue
+				}
+				checkSchemaConst(pass, vs, roots)
+			}
+		}
+	}
+}
+
+const schemaPrefix = "//odrips:schema"
+
+// schemaMarkerTypes extracts the root type names from an //odrips:schema
+// marker line in doc, or nil when doc carries no marker.
+func schemaMarkerTypes(doc *ast.CommentGroup) []string {
+	if doc == nil {
+		return nil
+	}
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(c.Text, schemaPrefix)
+		if !ok {
+			continue
+		}
+		if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+			continue
+		}
+		return strings.Fields(rest)
+	}
+	return nil
+}
+
+func checkSchemaConst(pass *Pass, vs *ast.ValueSpec, roots []string) {
+	if len(vs.Names) != 1 {
+		pass.Reportf(vs.Pos(), "//odrips:schema marker must annotate exactly one string constant")
+		return
+	}
+	name := vs.Names[0]
+	if len(roots) == 0 {
+		pass.Reportf(name.Pos(), "//odrips:schema on %s names no root types; want %q", name.Name, schemaPrefix+" <Type>...")
+		return
+	}
+	obj, ok := pass.Info.Defs[name].(*types.Const)
+	if !ok || obj.Val().Kind() != constant.String {
+		pass.Reportf(name.Pos(), "//odrips:schema marker requires %s to be a string constant holding the recorded hash", name.Name)
+		return
+	}
+	recorded := constant.StringVal(obj.Val())
+
+	var rootTypes []*types.Named
+	for _, r := range roots {
+		tobj := pass.Types.Scope().Lookup(r)
+		tn, ok := tobj.(*types.TypeName)
+		if !ok {
+			pass.Reportf(name.Pos(), "//odrips:schema on %s names %q, which is not a type in package %s", name.Name, r, pass.Types.Path())
+			return
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			pass.Reportf(name.Pos(), "//odrips:schema root %q must be a defined (named) type", r)
+			return
+		}
+		rootTypes = append(rootTypes, named)
+	}
+
+	computed := schemaHashOf(rootTypes)
+	if recorded != computed {
+		pass.Reportf(name.Pos(),
+			"schema hash mismatch for %s (roots %s): recorded %q, computed %q; a serialized type changed shape — bump the codec version and re-record the constant",
+			name.Name, strings.Join(roots, " "), recorded, computed)
+	}
+}
+
+// schemaHashOf computes the canonical structural hash: every
+// module-internal named type reachable from the roots contributes one line
+// "pkgpath.Name = <underlying>", lines are sorted, and the sha256 of the
+// joined description is hex-encoded.
+func schemaHashOf(roots []*types.Named) string {
+	qual := func(p *types.Package) string { return p.Path() }
+	lines := map[string]string{}
+	var queue []*types.Named
+	queued := map[string]bool{}
+	enqueue := func(n *types.Named) {
+		key := namedKey(n)
+		if key == "" || queued[key] {
+			return
+		}
+		queued[key] = true
+		queue = append(queue, n)
+	}
+	for _, r := range roots {
+		enqueue(r)
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		u := n.Underlying()
+		lines[namedKey(n)] = namedKey(n) + " = " + types.TypeString(u, qual)
+		collectNamed(u, enqueue, map[types.Type]bool{})
+	}
+	keys := make([]string, 0, len(lines))
+	for k := range lines {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		sb.WriteString(lines[k])
+		sb.WriteByte('\n')
+	}
+	sum := sha256.Sum256([]byte(sb.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// namedKey is the closure identity of a named type: its qualified name for
+// module-internal types, "" for external ones (they are rendered by name at
+// use sites but never expanded — their layout is the stdlib's contract, not
+// this module's).
+func namedKey(n *types.Named) string {
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	path := obj.Pkg().Path()
+	if path != "odrips" && !strings.HasPrefix(path, "odrips/") {
+		return ""
+	}
+	return path + "." + obj.Name()
+}
+
+// collectNamed walks a type structurally, enqueueing every named type it
+// references (expansion of module-internal ones happens at the queue).
+func collectNamed(t types.Type, enqueue func(*types.Named), seen map[types.Type]bool) {
+	if seen[t] {
+		return
+	}
+	seen[t] = true
+	switch t := t.(type) {
+	case *types.Named:
+		enqueue(t)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			collectNamed(t.Field(i).Type(), enqueue, seen)
+		}
+	case *types.Array:
+		collectNamed(t.Elem(), enqueue, seen)
+	case *types.Slice:
+		collectNamed(t.Elem(), enqueue, seen)
+	case *types.Pointer:
+		collectNamed(t.Elem(), enqueue, seen)
+	case *types.Map:
+		collectNamed(t.Key(), enqueue, seen)
+		collectNamed(t.Elem(), enqueue, seen)
+	case *types.Chan:
+		collectNamed(t.Elem(), enqueue, seen)
+	case *types.Signature:
+		for i := 0; i < t.Params().Len(); i++ {
+			collectNamed(t.Params().At(i).Type(), enqueue, seen)
+		}
+		for i := 0; i < t.Results().Len(); i++ {
+			collectNamed(t.Results().At(i).Type(), enqueue, seen)
+		}
+	}
+}

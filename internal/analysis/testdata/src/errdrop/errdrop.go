@@ -1,0 +1,61 @@
+// Package errdrop is an odrips-vet test fixture: errors from the
+// fail-safe load paths (memostore Load*, faults.Parse, the ffDecode*
+// codec convention) discarded instead of handled.
+package errdrop
+
+import (
+	"errors"
+
+	"odrips/internal/faults"
+	"odrips/internal/memostore"
+)
+
+// ffDecodeWire matches the platform bundle codec naming convention.
+func ffDecodeWire(b []byte) (int, error) {
+	if len(b) == 0 {
+		return 0, errors.New("empty")
+	}
+	return len(b), nil
+}
+
+// BadBlank binds the error results to _.
+func BadBlank(s *memostore.Store, key []byte) ([]byte, faults.Plan, int) {
+	payload, ok, _ := s.Load("cycles", key) // want errdrop
+	_ = ok
+	plan, _ := faults.Parse("mee@2") // want errdrop
+	n, _ := ffDecodeWire(payload)    // want errdrop
+	return payload, plan, n
+}
+
+// BadDropped discards every result of a fail-safe loader.
+func BadDropped(s *memostore.Store, key []byte) {
+	s.Load("cycles", key) // want errdrop
+	faults.Parse("mee@2") // want errdrop
+	ffDecodeWire(key)     // want errdrop
+}
+
+// Good handles the error explicitly, treating a typed miss as a cold
+// cache and anything else as a real failure.
+func Good(s *memostore.Store, key []byte) ([]byte, error) {
+	payload, ok, err := s.Load("cycles", key)
+	if err != nil {
+		var corrupt *memostore.CorruptError
+		if !errors.As(err, &corrupt) {
+			return nil, err
+		}
+		return nil, nil // counted miss; recompute
+	}
+	if !ok {
+		return nil, nil
+	}
+	if _, derr := ffDecodeWire(payload); derr != nil {
+		return nil, derr
+	}
+	return payload, nil
+}
+
+// Allowed shows the audited escape hatch.
+func Allowed(s *memostore.Store, key []byte) []byte {
+	payload, _, _ := s.Load("cycles", key) //odrips:allow errdrop fixture exercises the allow path
+	return payload
+}

@@ -1,0 +1,35 @@
+// Package ffclass is an odrips-vet test fixture: the fast-forward
+// fingerprint manifest triple (ffFingerprinted / ffExcluded /
+// ffManifestTypes) with an unclassified field and a dual-classified one.
+package ffclass
+
+import "reflect"
+
+type gizmo struct {
+	classified   int
+	excludedOK   string
+	dual         uint32
+	unclassified bool
+}
+
+type widget struct {
+	covered int64
+}
+
+var ffFingerprinted = map[string]bool{
+	"ffclass.gizmo.classified": true,
+	"ffclass.gizmo.dual":       true, // want ffclass
+	"ffclass.widget.covered":   true,
+}
+
+var ffExcluded = map[string]string{
+	"ffclass.gizmo.excludedOK": "immutable after construction",
+	"ffclass.gizmo.dual":       "contradicts the fingerprint entry above",
+}
+
+func ffManifestTypes() []reflect.Type {
+	return []reflect.Type{
+		reflect.TypeOf((*gizmo)(nil)).Elem(), // want ffclass
+		reflect.TypeOf((*widget)(nil)).Elem(),
+	}
+}

@@ -1,0 +1,39 @@
+// Package schemahash is an odrips-vet test fixture: string constants
+// pinned to the structural hash of the types a codec serializes.
+package schemahash
+
+// wireKey and wireRecord stand in for a hand-rolled codec's types.
+type wireKey struct {
+	ID   uint64
+	Name string
+}
+
+type wireRecord struct {
+	Key  wireKey
+	Vals []int64
+	Tags map[string]uint32
+}
+
+// goodHash records the current structural hash, so it verifies clean.
+//
+//odrips:schema wireKey wireRecord
+const goodHash = "441ac3330f9c01813231582cded2bcc18abd31c5da878dc88e2bcd655a1baeb7"
+
+// staleHash was recorded before wireRecord grew a field (simulated by
+// recording garbage): the codec changed shape without a version bump.
+//
+//odrips:schema wireRecord
+const staleHash = "decafbad0000000000000000000000000000000000000000000000000000cafe" // want schemahash
+
+// badRoot names a type that does not exist in this package.
+//
+//odrips:schema NoSuchType
+const badRoot = "irrelevant" // want schemahash
+
+// notAString is marked but cannot hold a hash.
+//
+//odrips:schema wireKey
+const notAString = 42 // want schemahash
+
+// unmarked constants are ignored entirely.
+const unmarked = "not a schema pin"

@@ -17,7 +17,10 @@ func TestCanonicalPointConfigIdentities(t *testing.T) {
 		"seed":        func(c platform.Config) platform.Config { c.Seed = 7; return c },
 		"tdp-default": func(c platform.Config) platform.Config { c.TDPWatts = 15; return c },
 		"reinit-unit": func(c platform.Config) platform.Config { c.ExitReinitScale = 1; return c },
-		"llc-default": func(c platform.Config) platform.Config { c.LLCDirtyFraction = platform.Skylake().LLCDirtyFraction; return c },
+		"llc-default": func(c platform.Config) platform.Config {
+			c.LLCDirtyFraction = platform.Skylake().LLCDirtyFraction
+			return c
+		},
 		"fet-default": func(c platform.Config) platform.Config { c.FETLeakageFraction = 0.003; return c },
 	}
 	const residency = 4 * sim.Millisecond
@@ -72,7 +75,7 @@ func TestCanonicalDedupAcrossExperiments(t *testing.T) {
 		t.Fatal(err)
 	}
 	entries := 0
-	sweepCache.Range(func(_, _ any) bool { entries++; return true })
+	eng.sweep.Range(func(_, _ any) bool { entries++; return true })
 
 	tdpRow := base
 	tdpRow.TDPWatts = 15 // the TDP study's calibration row
@@ -80,7 +83,7 @@ func TestCanonicalDedupAcrossExperiments(t *testing.T) {
 		t.Fatal(err)
 	}
 	after := 0
-	sweepCache.Range(func(_, _ any) bool { after++; return true })
+	eng.sweep.Range(func(_, _ any) bool { after++; return true })
 	if after != entries {
 		t.Errorf("equivalent config added %d cache entries; want a hit", after-entries)
 	}

@@ -47,10 +47,21 @@ type PointResult[T any] struct {
 	Err   error
 }
 
-// defaultWorkers is the process-wide fan-out for experiments that expose
-// no per-call knob (0 means runtime.GOMAXPROCS(0)); the CLI harnesses set
-// it from their -workers flag.
-var defaultWorkers atomic.Int32
+// eng owns this package's process-scoped mutable state behind a single
+// struct, so every access goes through the funnels below and the
+// odrips-vet globalstate rule can ban loose package-level state: the
+// worker-pool default the CLI harnesses set from -workers (0 means
+// runtime.GOMAXPROCS(0)), and the in-process point memo maps (see the
+// "Point memo cache" section of runner.go). The maps are a pure,
+// deterministic memo — a hit is bit-identical to a recompute — which is
+// what makes a process-wide instance sound.
+//
+//odrips:allow globalstate the process composition root for experiments: the -workers default set once by flag wiring plus the deterministic point memo whose hits are bit-identical to recomputes
+var eng struct {
+	workers atomic.Int32
+	sweep   sync.Map // sweepPointKey -> float64 (average mW)
+	trans   sync.Map // platform.Config -> sim.Duration (entry+exit)
+}
 
 // SetDefaultWorkers sets the package-wide worker-pool size used when a
 // sweep or experiment does not specify its own (n <= 0 restores the
@@ -59,13 +70,13 @@ func SetDefaultWorkers(n int) {
 	if n < 0 {
 		n = 0
 	}
-	defaultWorkers.Store(int32(n))
+	eng.workers.Store(int32(n))
 }
 
 // resolveWorkers maps a knob value to a concrete pool size.
 func resolveWorkers(n int) int {
 	if n <= 0 {
-		n = int(defaultWorkers.Load())
+		n = int(eng.workers.Load())
 	}
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)

@@ -17,7 +17,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"sync"
 
 	"odrips/internal/aonio"
 	"odrips/internal/memostore"
@@ -177,16 +176,15 @@ func canonicalPointConfig(cfg platform.Config) platform.Config {
 	return cfg
 }
 
-var (
-	sweepCache sync.Map // sweepPointKey -> float64 (average mW)
-	transCache sync.Map // platform.Config -> sim.Duration (entry+exit)
-)
+// The memo maps themselves live in the eng owner struct (engine.go),
+// alongside the worker default — the package's one audited piece of
+// process-scoped state.
 
 // ResetPointCache drops every memoized sweep point and transition time.
 // Benchmarks call it so each iteration measures cold-cache cost.
 func ResetPointCache() {
-	sweepCache.Range(func(k, _ any) bool { sweepCache.Delete(k); return true })
-	transCache.Range(func(k, _ any) bool { transCache.Delete(k); return true })
+	eng.sweep.Range(func(k, _ any) bool { eng.sweep.Delete(k); return true })
+	eng.trans.Range(func(k, _ any) bool { eng.trans.Delete(k); return true })
 }
 
 // ---- Persistent point memos ----
@@ -244,14 +242,14 @@ func pointDiskVerify(class string, key []byte, got uint64) error {
 // sub-millisecond residencies.
 func sweepAverage(cfg platform.Config, residency sim.Duration, cycles int) (float64, error) {
 	key := sweepPointKey{cfg: canonicalPointConfig(cfg), residency: residency, cycles: cycles}
-	if v, ok := sweepCache.Load(key); ok {
+	if v, ok := eng.sweep.Load(key); ok {
 		return v.(float64), nil
 	}
 	diskKey := pointDiskKey(key.cfg, residency, cycles)
 	if memostore.Default().Mode() != memostore.Verify {
 		if bits, ok := pointDiskLoad("sweep", diskKey); ok {
 			mw := math.Float64frombits(bits)
-			sweepCache.Store(key, mw)
+			eng.sweep.Store(key, mw)
 			return mw, nil
 		}
 	}
@@ -277,7 +275,7 @@ func sweepAverage(cfg platform.Config, residency sim.Duration, cycles int) (floa
 		return 0, err
 	}
 	pointDiskSave("sweep", diskKey, math.Float64bits(mw))
-	sweepCache.Store(key, mw)
+	eng.sweep.Store(key, mw)
 	return mw, nil
 }
 
@@ -285,14 +283,14 @@ func sweepAverage(cfg platform.Config, residency sim.Duration, cycles int) (floa
 // the sweep can hold the wake period fixed across configurations.
 func transitionTime(cfg platform.Config) (sim.Duration, error) {
 	key := canonicalPointConfig(cfg)
-	if v, ok := transCache.Load(key); ok {
+	if v, ok := eng.trans.Load(key); ok {
 		return v.(sim.Duration), nil
 	}
 	diskKey := pointDiskKey(key, 0, 0)
 	if memostore.Default().Mode() != memostore.Verify {
 		if bits, ok := pointDiskLoad("trans", diskKey); ok {
 			d := sim.Duration(int64(bits))
-			transCache.Store(key, d)
+			eng.trans.Store(key, d)
 			return d, nil
 		}
 	}
@@ -311,7 +309,7 @@ func transitionTime(cfg platform.Config) (sim.Duration, error) {
 		return 0, err
 	}
 	pointDiskSave("trans", diskKey, uint64(int64(d)))
-	transCache.Store(key, d)
+	eng.trans.Store(key, d)
 	return d, nil
 }
 

@@ -85,7 +85,7 @@ type Engine struct {
 	// Reusable crypto state and engine-owned scratch buffers. Together
 	// they make the steady-state block datapath allocation-free.
 	mac     macCtx
-	u64Buf  [8]byte          // MAC length/index staging
+	u64Buf  [8]byte // MAC length/index staging
 	ctrBuf  [aes.BlockSize]byte
 	ksBuf   [aes.BlockSize]byte
 	ctBuf   [BlockSize]byte // ciphertext staging (write + read paths)

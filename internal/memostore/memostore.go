@@ -150,6 +150,11 @@ type Store struct {
 	// tmpSeq disambiguates temp files within the process; combined with
 	// the PID it keeps concurrent writers from colliding.
 	tmpSeq atomic.Uint64
+
+	// views holds per-store decoded singletons (class -> any), the
+	// owning home for in-process caches that used to be package-level
+	// state in the consuming packages; see View.
+	views sync.Map
 }
 
 // Open creates (if needed) and opens a store rooted at dir. A nil store
@@ -194,6 +199,38 @@ func (s *Store) BuildFingerprint() [32]byte {
 		return [32]byte{}
 	}
 	return s.buildFP
+}
+
+// View returns the store's singleton view for class, building it on
+// first use. Under contention build may run more than once, but every
+// caller observes the single kept result, so builders must return a
+// cheap empty container and defer real work (disk loads) to the view's
+// own methods. It exists so consuming
+// packages can hang their in-process decoded caches off the store that
+// feeds them instead of off package-level variables: the cache's
+// lifetime and identity then follow the store's (a test swapping stores
+// implicitly starts from an empty view), and the odrips-vet globalstate
+// rule can ban package-level mutable state outright. A nil store has no
+// views and returns nil.
+func (s *Store) View(class string, build func() any) any {
+	if s == nil {
+		return nil
+	}
+	if v, ok := s.views.Load(class); ok {
+		return v
+	}
+	v, _ := s.views.LoadOrStore(class, build())
+	return v
+}
+
+// DropView discards the store's view for class, so the next View call
+// rebuilds it (and its builder re-reads disk). Benchmarks use it to
+// measure the honest disk-warm path; a nil store is a no-op.
+func (s *Store) DropView(class string) {
+	if s == nil {
+		return
+	}
+	s.views.Delete(class)
 }
 
 // Stats returns a snapshot of the store's counters.
@@ -362,19 +399,30 @@ func DecodeEntryForFuzz(data []byte, buildFP, keyHash [32]byte) (payload []byte,
 	return p, v.kind == 0, v.reason
 }
 
-// ---- Build fingerprint ----
+// ---- Process-scoped state ----
 
-var buildFPOnce struct {
-	sync.Once
-	fp  [32]byte
-	err error
+// proc is this package's only process-scoped mutable state, gathered
+// behind one owning struct so every mutation funnels through the
+// accessors below: the default store installed by the -memocache flag /
+// ODRIPS_MEMOCACHE env composition roots, and the once-per-process
+// executable hash that versions every entry. Everything else mutable
+// lives inside Store instances.
+//
+//odrips:allow globalstate the process composition root: the default store is set once by flag/env wiring and the build fingerprint is an immutable process property memoized behind a Once
+var proc struct {
+	defaultStore atomic.Pointer[Store]
+	buildFP      struct {
+		sync.Once
+		fp  [32]byte
+		err error
+	}
 }
 
 // buildFingerprint hashes the running executable once per process. Any
 // change to the simulator — code, record layouts, toolchain — yields a
 // different binary and therefore a disjoint cache namespace.
 func buildFingerprint() ([32]byte, error) {
-	o := &buildFPOnce
+	o := &proc.buildFP
 	o.Do(func() {
 		exe, err := os.Executable()
 		if err != nil {
@@ -409,14 +457,12 @@ func BuildFingerprintHex() string {
 
 // ---- Process-wide default store ----
 
-var defaultStore atomic.Pointer[Store]
-
 // SetDefault installs the process-wide store consumed by the platform
 // and experiment memo layers. nil turns persistence off.
-func SetDefault(s *Store) { defaultStore.Store(s) }
+func SetDefault(s *Store) { proc.defaultStore.Store(s) }
 
 // Default returns the process-wide store (nil when off).
-func Default() *Store { return defaultStore.Load() }
+func Default() *Store { return proc.defaultStore.Load() }
 
 // init wires the default store from the environment so test binaries and
 // benchmark runs can opt in without flag plumbing:

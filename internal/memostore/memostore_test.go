@@ -45,11 +45,11 @@ func TestRoundTrip(t *testing.T) {
 func TestClassAndKeySeparation(t *testing.T) {
 	s := openT(t, RW)
 	s.Save("sweep", []byte("k1"), []byte("v1"))
-	if _, ok, _ := s.Load("trans", []byte("k1")); ok {
-		t.Fatal("hit across classes")
+	if _, ok, err := s.Load("trans", []byte("k1")); err != nil || ok {
+		t.Fatalf("hit across classes (ok=%v err=%v)", ok, err)
 	}
-	if _, ok, _ := s.Load("sweep", []byte("k2")); ok {
-		t.Fatal("hit across keys")
+	if _, ok, err := s.Load("sweep", []byte("k2")); err != nil || ok {
+		t.Fatalf("hit across keys (ok=%v err=%v)", ok, err)
 	}
 }
 
@@ -65,20 +65,20 @@ func TestModes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, _ := ro.Load("c", []byte("k")); !ok {
-		t.Fatal("ro: want hit")
+	if _, ok, err := ro.Load("c", []byte("k")); err != nil || !ok {
+		t.Fatalf("ro: want hit (ok=%v err=%v)", ok, err)
 	}
 	ro.Save("c", []byte("k2"), []byte("v2"))
-	if _, ok, _ := ro.Load("c", []byte("k2")); ok {
-		t.Fatal("ro: save must not persist")
+	if _, ok, err := ro.Load("c", []byte("k2")); err != nil || ok {
+		t.Fatalf("ro: save must not persist (ok=%v err=%v)", ok, err)
 	}
 
 	ver, err := Open(dir, Verify)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, _ := ver.Load("c", []byte("k")); !ok {
-		t.Fatal("verify: want hit (callers re-compute and compare)")
+	if _, ok, err := ver.Load("c", []byte("k")); err != nil || !ok {
+		t.Fatalf("verify: want hit, callers re-compute and compare (ok=%v err=%v)", ok, err)
 	}
 
 	var off *Store // nil store behaves as Off everywhere
@@ -277,8 +277,8 @@ func TestOversizedPayloadDropped(t *testing.T) {
 	s := openT(t, RW)
 	big := make([]byte, maxPayload+1)
 	s.Save("c", []byte("k"), big)
-	if _, ok, _ := s.Load("c", []byte("k")); ok {
-		t.Fatal("oversized payload must not persist")
+	if _, ok, err := s.Load("c", []byte("k")); err != nil || ok {
+		t.Fatalf("oversized payload must not persist (ok=%v err=%v)", ok, err)
 	}
 }
 

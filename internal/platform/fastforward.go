@@ -75,7 +75,11 @@ func ParseFFMode(s string) (FFMode, error) {
 
 // defaultFFMode is deliberately not part of Config: the whole point of the
 // engine is that results are byte-identical across modes, so the mode must
-// not leak into Result.Config.
+// not leak into Result.Config. That same argument is why a process-wide
+// default is sound to keep at all — the knob selects how results are
+// computed, never what they are.
+//
+//odrips:allow globalstate the -fastforward flag's process default: set once by CLI wiring, and provably output-invariant (mode never changes results, only how they are computed)
 var defaultFFMode atomic.Int32
 
 // SetDefaultFastForward sets the mode platforms are created with.

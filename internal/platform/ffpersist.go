@@ -28,9 +28,12 @@ import (
 // additionally re-simulates every disk-loaded class and diffs the full
 // record, the same contract as -fastforward=verify.
 //
-// Bundles are shared across platforms in-process behind a mutex — the
-// ROADMAP's "shared cross-device memo store" — so worker-pool sweeps
-// and repeated runs of one config reuse each other's records.
+// Bundles are shared across platforms in-process — the ROADMAP's
+// "shared cross-device memo store" — so worker-pool sweeps and repeated
+// runs of one config reuse each other's records. The cache itself is
+// owned by the memostore.Store it mirrors (ffBundles, via Store.View),
+// never by a package-level variable, so its identity follows the
+// store's and the odrips-vet globalstate rule holds.
 
 // ffPersistRecordCap replaces ffRecordCap when a persistent store is
 // attached: a six-hour jittered run produces one class per cycle (~720),
@@ -42,20 +45,49 @@ const ffPersistRecordCap = 8192
 // cycle-record serialization).
 const ffBundleVersion = 1
 
-// ffBundle is the in-process face of one persisted bundle.
+// ffBundleSchemaHash pins the wire schema of the bundle codec. The marker
+// below makes odrips-vet compute a structural hash over ffKey and
+// cycleRecord (and every module type reachable from them) and compare it
+// to this constant: change the shape of anything ffEncodeBundle
+// serializes and vet fails with the new hash, forcing a deliberate
+// ffBundleVersion bump alongside the re-recorded constant.
+//
+//odrips:schema ffKey cycleRecord
+const ffBundleSchemaHash = "e402e53416a3e4030e46a2b0cbaae17f6a97a1f3a5632e294e16b34043bda70a"
+
+// ffBundle is the in-process face of one persisted bundle. Its mutex
+// guards records/fromDisk/dirty; the record values themselves are
+// immutable once published, so readers may hold pointers lock-free.
 type ffBundle struct {
-	key      string
+	key string
+
+	mu       sync.Mutex
+	loaded   bool
 	records  map[ffKey]*cycleRecord
 	fromDisk map[ffKey]bool
 	dirty    bool
 }
 
-// ffShared is the process-wide bundle cache, keyed by the store identity
-// (a test swapping stores resets it) and the config key.
-var ffShared struct {
-	sync.Mutex
-	store   *memostore.Store
+// ffBundles owns the cross-platform bundle cache for one store. It is
+// never a package-level variable: the instance hangs off the
+// memostore.Store that feeds it (Store.View), so its identity and
+// lifetime follow the store's — a test swapping stores implicitly
+// starts from an empty cache, and the odrips-vet globalstate rule holds
+// for this package.
+type ffBundles struct {
+	mu      sync.Mutex
 	bundles map[string]*ffBundle
+}
+
+// ffBundleViewClass names the platform's view slot on a store.
+const ffBundleViewClass = "platform.cycles"
+
+// ffBundleView returns the store-owned bundle cache.
+func ffBundleView(s *memostore.Store) *ffBundles {
+	v, _ := s.View(ffBundleViewClass, func() any {
+		return &ffBundles{bundles: make(map[string]*ffBundle)}
+	}).(*ffBundles)
+	return v
 }
 
 // ffConfigKey is the bundle content key for a platform configuration.
@@ -64,24 +96,32 @@ func ffConfigKey(cfg Config) string { return fmt.Sprintf("%#v", cfg) }
 // ffAcquireBundle returns (creating and disk-loading if needed) the
 // shared bundle for cfgKey under store s.
 func ffAcquireBundle(s *memostore.Store, cfgKey string) *ffBundle {
-	ffShared.Lock()
-	defer ffShared.Unlock()
-	if ffShared.store != s {
-		ffShared.store = s
-		ffShared.bundles = make(map[string]*ffBundle)
+	view := ffBundleView(s)
+	view.mu.Lock()
+	b := view.bundles[cfgKey]
+	if b == nil {
+		b = &ffBundle{
+			key:      cfgKey,
+			records:  make(map[ffKey]*cycleRecord),
+			fromDisk: make(map[ffKey]bool),
+		}
+		view.bundles[cfgKey] = b
 	}
-	b := ffShared.bundles[cfgKey]
-	if b != nil {
+	view.mu.Unlock()
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.loaded {
 		return b
 	}
-	b = &ffBundle{
-		key:      cfgKey,
-		records:  make(map[ffKey]*cycleRecord),
-		fromDisk: make(map[ffKey]bool),
-	}
-	ffShared.bundles[cfgKey] = b
-	if payload, ok, _ := s.Load("cycles", []byte(cfgKey)); ok {
-		if recs, err := ffDecodeBundle(payload); err == nil {
+	b.loaded = true
+	switch payload, ok, err := s.Load("cycles", []byte(cfgKey)); {
+	case err != nil:
+		// Typed corruption (*memostore.CorruptError) is a fail-safe miss
+		// by the store's contract: it was counted there, the bundle stays
+		// empty, and a later flush overwrites the damaged entry.
+	case ok:
+		if recs, derr := ffDecodeBundle(payload); derr == nil {
 			b.records = recs
 			for k := range recs {
 				b.fromDisk[k] = true
@@ -89,19 +129,18 @@ func ffAcquireBundle(s *memostore.Store, cfgKey string) *ffBundle {
 		}
 		// A decode error degrades to an empty bundle: the entry passed
 		// the store's checksum but predates a bundle-layout change that
-		// forgot to bump ffBundleVersion; recompute and overwrite.
+		// forgot to bump ffBundleVersion; recompute and overwrite. The
+		// odrips-vet schemahash rule exists to make that path dead code.
 	}
 	return b
 }
 
-// ResetPersistentMemos drops the process-wide bundle cache, so the next
-// platform reloads from disk. Benchmarks use it to measure the honest
-// disk-warm path; tests use it to simulate a fresh process.
+// ResetPersistentMemos drops the in-process bundle cache hanging off the
+// default store, so the next platform reloads from disk. Benchmarks use
+// it to measure the honest disk-warm path; tests use it to simulate a
+// fresh process.
 func ResetPersistentMemos() {
-	ffShared.Lock()
-	defer ffShared.Unlock()
-	ffShared.store = nil
-	ffShared.bundles = nil
+	memostore.Default().DropView(ffBundleViewClass)
 }
 
 // ffAttachPersist hooks the platform's cycle memo to the process default
@@ -117,8 +156,8 @@ func (p *Platform) ffAttachPersist() {
 	ff.store = s
 	ff.persist = b
 
-	ffShared.Lock()
-	defer ffShared.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if len(b.records) == 0 {
 		return
 	}
@@ -144,8 +183,8 @@ func (ff *ffState) ffPersistAdd(key ffKey, cr *cycleRecord) {
 	if b == nil {
 		return
 	}
-	ffShared.Lock()
-	defer ffShared.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if b.records[key] == nil {
 		b.records[key] = cr
 		b.dirty = true
@@ -161,8 +200,8 @@ func (p *Platform) ffFlushPersist() {
 	if b == nil || !ff.store.Mode().Writable() {
 		return
 	}
-	ffShared.Lock()
-	defer ffShared.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if !b.dirty || len(b.records) == 0 {
 		return
 	}
