@@ -3,7 +3,7 @@ PKGS     := ./...
 STAMP    := $(shell date -u +%Y%m%dT%H%M%SZ)
 FUZZTIME ?= 60s
 
-.PHONY: all build test vet lint lint-fixtures race verify fuzz bench bench-smoke bench-sweep bench-baseline-1x bench-gate bench-warm benchdiff profile profile-diff clean
+.PHONY: all build test vet lint lint-fixtures race verify fleet-smoke fuzz bench bench-smoke bench-sweep bench-baseline-1x bench-gate bench-warm benchdiff profile profile-diff clean
 
 all: build test
 
@@ -38,6 +38,22 @@ race:
 # the race detector (the parallel sweep engine is exercised by every
 # experiment test). Mirrored by .github/workflows/ci.yml.
 verify: build vet lint race
+
+# Fleet smoke tier: the fleet engine's full test suite under the race
+# detector with the load harness raised to thousands of concurrent jobs
+# against the shared memo plane, then a cold+warm 1000-device fleet
+# through the CLI against a persistent store (the warm run must adopt
+# from disk). Run by CI on every push; FLEET_LOAD_JOBS scales the
+# harness.
+FLEET_LOAD_JOBS ?= 2048
+FLEETDIR := $(CURDIR)/.odrips-fleet-smoke
+fleet-smoke:
+	ODRIPS_FLEET_LOAD_JOBS=$(FLEET_LOAD_JOBS) $(GO) test -race -count=1 ./internal/fleet ./internal/platform -run 'TestFleet|TestMemoPlane|TestMemoSnapshot'
+	rm -rf $(FLEETDIR)
+	$(GO) run ./cmd/odrips-fleet -devices 1000 -shards 8 -memocache rw -memocachedir $(FLEETDIR) > /dev/null
+	$(GO) run ./cmd/odrips-fleet -devices 1000 -shards 8 -memocache ro -memocachedir $(FLEETDIR) -format json | grep -q '"adopted": [1-9]' || { echo "fleet-smoke: warm run adopted nothing from the memo store"; exit 1; }
+	@rm -rf $(FLEETDIR)
+	@echo fleet-smoke OK
 
 # Long-run every fuzz target for FUZZTIME each (go only allows one -fuzz
 # pattern per package invocation). Run nightly by

@@ -433,3 +433,61 @@ func BenchmarkConnectedStandbySixHoursWarm(b *testing.B) {
 		b.ReportMetric(res.Duration.Seconds(), "simulated_s")
 	}
 }
+
+// fleet10kSpec is the acceptance-scenario fleet: 10,000 devices over a
+// six-hour horizon whose spread (seeds, battery capacities) is
+// homogeneous in simulation physics, so the engine collapses it to a
+// couple of simulated runs plus result patching.
+func fleet10kSpec() FleetSpec {
+	return FleetSpec{
+		Name:    "bench10k",
+		Devices: 10000,
+		Shards:  16,
+		Spread: FleetSpread{
+			SeedStride: 3,
+			BatteryMWh: []float64{36000, 30000, 28000},
+		},
+	}
+}
+
+// BenchmarkFleet10k measures a cold 10,000-device fleet job end to end:
+// expansion, two simulated runs (plane warm-up and the frozen-snapshot
+// replay), 10,000 per-device battery patches, and aggregation. Compare
+// against 10,000× BenchmarkConnectedStandbySixHours for the sequential
+// cost it replaces.
+func BenchmarkFleet10k(b *testing.B) {
+	b.ReportAllocs()
+	spec := fleet10kSpec()
+	for i := 0; i < b.N; i++ {
+		rep, err := FleetOnPlane(spec, nil) // nil: fresh plane, fully cold
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.Memo.CrossDeviceHitRatePct, "hit_pct")
+		b.ReportMetric(float64(rep.Aggregates.TotalDeviceCycles), "device_cycles")
+	}
+}
+
+// BenchmarkFleet10kWarm is the same fleet replayed from a populated
+// persistent memo store: each iteration builds a fresh plane over the
+// store, so the measured cost is the disk adopt plus replay — no cycle
+// is ever recorded twice across iterations.
+func BenchmarkFleet10kWarm(b *testing.B) {
+	b.ReportAllocs()
+	withWarmMemoStore(b)
+	spec := fleet10kSpec()
+	run := func() *FleetReport {
+		rep, err := Fleet(spec) // plane over the process store
+		if err != nil {
+			b.Fatal(err)
+		}
+		return rep
+	}
+	run() // populate the store (cold, untimed)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := run()
+		b.ReportMetric(rep.Memo.CrossDeviceHitRatePct, "hit_pct")
+		b.ReportMetric(float64(rep.Memo.Store.Hits), "store_hits")
+	}
+}

@@ -27,8 +27,9 @@ import (
 
 func main() {
 	expFlag := flag.String("exp", "all",
-		"comma-separated experiments: table1,fig1b,fig2,fig3b,calibration,fig6a,fig6b,fig6c,fig6d,ctxlatency,validation,ablations,coalescing,scaling,standby,anatomy,aging,tdp,wakelatency,faultsweep (faultsweep is opt-in: not part of \"all\")")
+		"comma-separated experiments: table1,fig1b,fig2,fig3b,calibration,fig6a,fig6b,fig6c,fig6d,ctxlatency,validation,ablations,coalescing,scaling,standby,anatomy,aging,tdp,wakelatency,faultsweep,fleet (faultsweep and fleet are opt-in: not part of \"all\")")
 	sweepFlag := flag.String("sweep", "none", "break-even sweep: none, fast, or paper")
+	memoStats := flag.Bool("memostats", false, "print memo-layer statistics (point caches, persistent store) after the selected experiments")
 	workers := flag.Int("workers", 0, "simulation worker pool size (0 = all cores, 1 = sequential)")
 	ffFlag := flag.String("fastforward", "on", "steady-state fast-forward: on, off, or verify (output is byte-identical across all three)")
 	memoFlag := flag.String("memocache", "", "persistent memo store: off, rw, ro, or verify (default: inherit ODRIPS_MEMOCACHE, normally off; output is byte-identical across all modes)")
@@ -80,7 +81,7 @@ func main() {
 	all := want["all"]
 	// Opt-in experiments run only when named explicitly; "all" keeps its
 	// historical (byte-identical) output.
-	optIn := map[string]bool{"faultsweep": true}
+	optIn := map[string]bool{"faultsweep": true, "fleet": true}
 	selected := func(name string) bool { return (all && !optIn[name]) || want[name] }
 
 	type experiment struct {
@@ -252,6 +253,31 @@ func main() {
 			r.Table().Render(os.Stdout)
 			return nil
 		}},
+		{"fleet", func() error {
+			// A representative heterogeneous fleet: two drift populations,
+			// two battery capacities, jittered wake periods, one faulted
+			// device — small enough for the bench tier, structured enough
+			// to exercise every collapse layer.
+			rep, err := odrips.Fleet(odrips.FleetSpec{
+				Name:    "bench",
+				Devices: 1000,
+				Horizon: odrips.Duration(3600) * odrips.Second,
+				Shards:  8,
+				Spread: odrips.FleetSpread{
+					DriftPPB:    []int64{0, 40},
+					BatteryMWh:  []float64{36000, 30000},
+					JitterSteps: []odrips.Duration{0, 250 * odrips.Millisecond},
+					Faults:      []odrips.FleetDeviceFaults{{Device: 5, Plan: "wake@1.3"}},
+				},
+			})
+			if err != nil {
+				return err
+			}
+			for _, t := range rep.Tables() {
+				t.Render(os.Stdout)
+			}
+			return nil
+		}},
 		{"anatomy", func() error {
 			for _, tc := range []struct {
 				name string
@@ -299,6 +325,9 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintln(os.Stderr, "odrips-bench: nothing selected")
 		os.Exit(2)
+	}
+	if *memoStats {
+		odrips.MemoStats().Render(os.Stdout)
 	}
 	if err := stopProf(); err != nil {
 		fmt.Fprintf(os.Stderr, "odrips-bench: %v\n", err)

@@ -186,3 +186,60 @@ func TestLoaderUnits(t *testing.T) {
 		}
 	}
 }
+
+// TestGlobalStateAllowRoster pins the repo's //odrips:allow globalstate
+// directives to an explicit roster. The rule keeps loose package-level
+// state out; the allows are the audited composition roots — a new one
+// must be added here deliberately, with its reason reviewed, not slipped
+// in by copying the directive.
+func TestGlobalStateAllowRoster(t *testing.T) {
+	want := map[string]bool{
+		"internal/experiments/engine.go":   true, // -workers default + bounded point memo
+		"internal/fleet/root.go":           true, // shared fleet memo plane
+		"internal/memostore/memostore.go":  true, // default persistent store + build fingerprint
+		"internal/platform/fastforward.go": true, // -fastforward process default
+	}
+	got := map[string]bool{}
+	root := filepath.Join("..", "..")
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == "testdata" || d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), "//odrips:allow globalstate") {
+				rel, err := filepath.Rel(root, path)
+				if err != nil {
+					return err
+				}
+				got[filepath.ToSlash(rel)] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for path := range got {
+		if !want[path] {
+			t.Errorf("unaudited globalstate allow in %s: add it to the roster with a reviewed reason", path)
+		}
+	}
+	for path := range want {
+		if !got[path] {
+			t.Errorf("roster entry %s has no globalstate allow anymore; prune it", path)
+		}
+	}
+}

@@ -74,17 +74,14 @@ func TestCanonicalDedupAcrossExperiments(t *testing.T) {
 	if _, err := sweepAverage(base, 2*sim.Millisecond, 1); err != nil {
 		t.Fatal(err)
 	}
-	entries := 0
-	eng.sweep.Range(func(_, _ any) bool { entries++; return true })
+	entries := eng.sweep.Len()
 
 	tdpRow := base
 	tdpRow.TDPWatts = 15 // the TDP study's calibration row
 	if _, err := sweepAverage(tdpRow, 2*sim.Millisecond, 1); err != nil {
 		t.Fatal(err)
 	}
-	after := 0
-	eng.sweep.Range(func(_, _ any) bool { after++; return true })
-	if after != entries {
+	if after := eng.sweep.Len(); after != entries {
 		t.Errorf("equivalent config added %d cache entries; want a hit", after-entries)
 	}
 }

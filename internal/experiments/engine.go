@@ -5,6 +5,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"odrips/internal/lru"
+	"odrips/internal/platform"
+	"odrips/internal/sim"
 )
 
 // This file is the parallel experiment execution engine. Every figure of
@@ -47,20 +51,58 @@ type PointResult[T any] struct {
 	Err   error
 }
 
+// Point-memo capacity bounds. The full paper sweep touches ~10,000
+// residencies per configuration half and a comparison row holds two
+// halves, so 1<<16 sweep entries cover every in-repo workload with slack;
+// transition times are one per configuration class. Eviction is safe by
+// construction — a hit is bit-identical to a recompute — so an undersized
+// bound costs recomputation time, never correctness, and the lru counters
+// (PointCacheStats) say when that is happening.
+const (
+	sweepCacheCap = 1 << 16
+	transCacheCap = 1 << 10
+)
+
 // eng owns this package's process-scoped mutable state behind a single
 // struct, so every access goes through the funnels below and the
 // odrips-vet globalstate rule can ban loose package-level state: the
 // worker-pool default the CLI harnesses set from -workers (0 means
-// runtime.GOMAXPROCS(0)), and the in-process point memo maps (see the
-// "Point memo cache" section of runner.go). The maps are a pure,
-// deterministic memo — a hit is bit-identical to a recompute — which is
-// what makes a process-wide instance sound.
+// runtime.GOMAXPROCS(0)), and the bounded in-process point memo caches
+// (see the "Point memo cache" section of runner.go). The caches are a
+// pure, deterministic memo — a hit is bit-identical to a recompute —
+// which is what makes a process-wide instance sound, and they are
+// LRU-bounded so fleet-scale key streams stay O(capacity) in memory.
 //
-//odrips:allow globalstate the process composition root for experiments: the -workers default set once by flag wiring plus the deterministic point memo whose hits are bit-identical to recomputes
-var eng struct {
+//odrips:allow globalstate the process composition root for experiments: the -workers default set once by flag wiring plus the bounded deterministic point memo whose hits are bit-identical to recomputes
+var eng = struct {
 	workers atomic.Int32
-	sweep   sync.Map // sweepPointKey -> float64 (average mW)
-	trans   sync.Map // platform.Config -> sim.Duration (entry+exit)
+	sweep   *lru.Cache[sweepPointKey, float64]        // average mW per point
+	trans   *lru.Cache[platform.Config, sim.Duration] // entry+exit per config
+}{
+	sweep: lru.New[sweepPointKey, float64](sweepCacheCap),
+	trans: lru.New[platform.Config, sim.Duration](transCacheCap),
+}
+
+// PointMemoStats snapshots the in-process point-memo caches: counters
+// since process start (or the last ResetPointCache) plus current sizes
+// against their bounds.
+type PointMemoStats struct {
+	Sweep, Trans       lru.Stats
+	SweepLen, TransLen int
+	SweepCap, TransCap int
+}
+
+// PointCacheStats reports the point-memo cache counters; odrips-bench
+// -memostats and the fleet report surface them.
+func PointCacheStats() PointMemoStats {
+	return PointMemoStats{
+		Sweep:    eng.sweep.Stats(),
+		Trans:    eng.trans.Stats(),
+		SweepLen: eng.sweep.Len(),
+		TransLen: eng.trans.Len(),
+		SweepCap: eng.sweep.Cap(),
+		TransCap: eng.trans.Cap(),
+	}
 }
 
 // SetDefaultWorkers sets the package-wide worker-pool size used when a

@@ -176,15 +176,18 @@ func canonicalPointConfig(cfg platform.Config) platform.Config {
 	return cfg
 }
 
-// The memo maps themselves live in the eng owner struct (engine.go),
+// The memo caches themselves live in the eng owner struct (engine.go),
 // alongside the worker default — the package's one audited piece of
-// process-scoped state.
+// process-scoped state. They are LRU-bounded (see the capacity rationale
+// there); eviction merely re-simulates, so the bound trades time for a
+// memory ceiling.
 
-// ResetPointCache drops every memoized sweep point and transition time.
-// Benchmarks call it so each iteration measures cold-cache cost.
+// ResetPointCache drops every memoized sweep point and transition time
+// and zeroes the cache counters. Benchmarks call it so each iteration
+// measures cold-cache cost.
 func ResetPointCache() {
-	eng.sweep.Range(func(k, _ any) bool { eng.sweep.Delete(k); return true })
-	eng.trans.Range(func(k, _ any) bool { eng.trans.Delete(k); return true })
+	eng.sweep.Reset()
+	eng.trans.Reset()
 }
 
 // ---- Persistent point memos ----
@@ -242,14 +245,14 @@ func pointDiskVerify(class string, key []byte, got uint64) error {
 // sub-millisecond residencies.
 func sweepAverage(cfg platform.Config, residency sim.Duration, cycles int) (float64, error) {
 	key := sweepPointKey{cfg: canonicalPointConfig(cfg), residency: residency, cycles: cycles}
-	if v, ok := eng.sweep.Load(key); ok {
-		return v.(float64), nil
+	if v, ok := eng.sweep.Get(key); ok {
+		return v, nil
 	}
 	diskKey := pointDiskKey(key.cfg, residency, cycles)
 	if memostore.Default().Mode() != memostore.Verify {
 		if bits, ok := pointDiskLoad("sweep", diskKey); ok {
 			mw := math.Float64frombits(bits)
-			eng.sweep.Store(key, mw)
+			eng.sweep.Put(key, mw)
 			return mw, nil
 		}
 	}
@@ -275,7 +278,7 @@ func sweepAverage(cfg platform.Config, residency sim.Duration, cycles int) (floa
 		return 0, err
 	}
 	pointDiskSave("sweep", diskKey, math.Float64bits(mw))
-	eng.sweep.Store(key, mw)
+	eng.sweep.Put(key, mw)
 	return mw, nil
 }
 
@@ -283,14 +286,14 @@ func sweepAverage(cfg platform.Config, residency sim.Duration, cycles int) (floa
 // the sweep can hold the wake period fixed across configurations.
 func transitionTime(cfg platform.Config) (sim.Duration, error) {
 	key := canonicalPointConfig(cfg)
-	if v, ok := eng.trans.Load(key); ok {
-		return v.(sim.Duration), nil
+	if v, ok := eng.trans.Get(key); ok {
+		return v, nil
 	}
 	diskKey := pointDiskKey(key, 0, 0)
 	if memostore.Default().Mode() != memostore.Verify {
 		if bits, ok := pointDiskLoad("trans", diskKey); ok {
 			d := sim.Duration(int64(bits))
-			eng.trans.Store(key, d)
+			eng.trans.Put(key, d)
 			return d, nil
 		}
 	}
@@ -309,7 +312,7 @@ func transitionTime(cfg platform.Config) (sim.Duration, error) {
 		return 0, err
 	}
 	pointDiskSave("trans", diskKey, uint64(int64(d)))
-	eng.trans.Store(key, d)
+	eng.trans.Put(key, d)
 	return d, nil
 }
 

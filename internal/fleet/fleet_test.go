@@ -1,0 +1,346 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"odrips/internal/platform"
+	"odrips/internal/sim"
+)
+
+// mixedSpec is a small but fully featured fleet: two drift populations
+// (two memo classes), three jitter steps, two battery capacities, one
+// faulted device — seven run classes across 48 devices, cheap enough to
+// also simulate naively device-by-device for the equivalence test.
+func mixedSpec() Spec {
+	return Spec{
+		Name:    "mixed",
+		Devices: 48,
+		Horizon: 10 * sim.Minute,
+		Shards:  4,
+		Spread: Spread{
+			DriftPPB:    []int64{0, 40},
+			BatteryMWh:  []float64{36000, 30000},
+			JitterSteps: []sim.Duration{0, 250 * sim.Millisecond, 500 * sim.Millisecond},
+			Faults:      []DeviceFaults{{Device: 5, Plan: "wake@1.3"}},
+		},
+	}
+}
+
+func mustAggJSON(t *testing.T, rep *Report) string {
+	t.Helper()
+	b, err := json.Marshal(rep.Aggregates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func mustReportJSON(t *testing.T, rep *Report) string {
+	t.Helper()
+	b, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestFleetMatchesNaiveSimulation is the engine's ground truth: the
+// fleet aggregates must be byte-identical to simulating every device
+// individually, with no plane and no dedup, and folding the results
+// through the same aggregation. This pins all three collapse layers
+// (run dedup, cross-device replay, fast-forward) as pure optimizations.
+func TestFleetMatchesNaiveSimulation(t *testing.T) {
+	s := mixedSpec().withDefaults()
+
+	rep, err := Run(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	devices, err := expand(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byRun := make(map[string]runOutcome)
+	runRepIndex := make(map[string]int)
+	warmFF := make(map[string]platform.FFStats)
+	memoRepIndex := make(map[string]int)
+	warmCount := make(map[string]int)
+	for _, d := range devices {
+		if _, ok := byRun[d.runClass]; !ok {
+			out, err := runDevice(s, d, nil) // solo: no plane, no snapshot
+			if err != nil {
+				t.Fatalf("device %d solo: %v", d.index, err)
+			}
+			byRun[d.runClass] = out
+			runRepIndex[d.runClass] = d.index
+		}
+		if _, ok := memoRepIndex[d.memoClass]; !ok {
+			memoRepIndex[d.memoClass] = d.index
+			warmFF[d.memoClass] = platform.FFStats{}
+			warmCount[d.memoClass] = d.cycles
+		}
+	}
+	naive, err := aggregate(s, devices, byRun, runRepIndex, warmFF, memoRepIndex, warmCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := mustAggJSON(t, rep), mustAggJSON(t, naive); got != want {
+		t.Errorf("fleet aggregates diverged from naive per-device simulation:\nfleet: %s\nnaive: %s", got, want)
+	}
+	if rep.Memo.RunClasses != 7 || rep.Memo.MemoClasses != 2 {
+		t.Errorf("class structure: %d run, %d memo classes (want 7, 2)",
+			rep.Memo.RunClasses, rep.Memo.MemoClasses)
+	}
+}
+
+// TestFleetDeterminism: the whole report is byte-identical at any worker
+// count, and the Aggregates section additionally at any shard count and
+// fast-forward mode.
+func TestFleetDeterminism(t *testing.T) {
+	base := mixedSpec()
+
+	ref, err := Run(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refFull := mustReportJSON(t, ref)
+	refAgg := mustAggJSON(t, ref)
+
+	for _, workers := range []int{1, 3} {
+		s := base
+		s.Workers = workers
+		rep, err := Run(s, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mustReportJSON(t, rep) != refFull {
+			t.Errorf("workers=%d: full report diverged", workers)
+		}
+	}
+	for _, shards := range []int{1, 16, 48} {
+		s := base
+		s.Shards = shards
+		rep, err := Run(s, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mustAggJSON(t, rep) != refAgg {
+			t.Errorf("shards=%d: aggregates diverged", shards)
+		}
+		if len(rep.Shards) != shards {
+			t.Errorf("shards=%d: %d shard rows", shards, len(rep.Shards))
+		}
+	}
+	defer platform.SetDefaultFastForward(platform.DefaultFastForward())
+	for _, mode := range []platform.FFMode{platform.FFOff, platform.FFVerify, platform.FFOn} {
+		platform.SetDefaultFastForward(mode)
+		rep, err := Run(base, nil)
+		if err != nil {
+			t.Fatalf("fastforward=%v: %v", mode, err)
+		}
+		if mustAggJSON(t, rep) != refAgg {
+			t.Errorf("fastforward=%v: aggregates diverged", mode)
+		}
+	}
+}
+
+// TestFleetHomogeneousHitRate is the acceptance scenario: a
+// homogeneous-spread fleet (seeds and battery capacities vary, physics
+// does not) collapses to one simulated run class, and the cross-device
+// memo hit rate clears 90% with a wide margin.
+func TestFleetHomogeneousHitRate(t *testing.T) {
+	s := Spec{
+		Name:    "homogeneous",
+		Devices: 1000,
+		Horizon: 10 * sim.Minute,
+		Spread: Spread{
+			SeedStride: 7,
+			BatteryMWh: []float64{36000, 30000, 28000},
+		},
+	}
+	rep, err := Run(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Memo.RunClasses != 1 || rep.Memo.MemoClasses != 1 {
+		t.Fatalf("homogeneous fleet split: %d run, %d memo classes", rep.Memo.RunClasses, rep.Memo.MemoClasses)
+	}
+	if rep.Memo.CrossDeviceHitRatePct < 90 {
+		t.Errorf("cross-device hit rate %.3f%% < 90%%", rep.Memo.CrossDeviceHitRatePct)
+	}
+	if rep.Memo.SimulatedRuns != 2 { // one warm run, one frozen-snapshot run
+		t.Errorf("simulated %d runs for a one-class fleet", rep.Memo.SimulatedRuns)
+	}
+	// Battery spread must show up in the life distribution even though
+	// only one device was simulated.
+	if agg := rep.Aggregates; !(agg.BatteryLifeHours.Min < agg.BatteryLifeHours.Max) {
+		t.Errorf("battery spread lost: %+v", agg.BatteryLifeHours)
+	}
+}
+
+// TestFleetLoadHarness hammers the shared default plane with many
+// concurrent fleet jobs (two alternating specs sharing a memo class) and
+// checks every job's aggregates against sequential golden runs. The CI
+// fleet-smoke tier raises the job count via ODRIPS_FLEET_LOAD_JOBS and
+// runs this under -race.
+func TestFleetLoadHarness(t *testing.T) {
+	jobs := 64
+	if v := os.Getenv("ODRIPS_FLEET_LOAD_JOBS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("ODRIPS_FLEET_LOAD_JOBS=%q", v)
+		}
+		jobs = n
+	}
+	specs := []Spec{
+		{Name: "load-a", Devices: 8, Horizon: 2 * sim.Minute},
+		{Name: "load-b", Devices: 8, Horizon: 2 * sim.Minute,
+			Spread: Spread{JitterSteps: []sim.Duration{250 * sim.Millisecond}}},
+	}
+	want := make([]string, len(specs))
+	for i := range specs {
+		rep, err := Run(specs[i], platform.NewMemoPlane(nil, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = mustAggJSON(t, rep)
+	}
+
+	SetDefaultPlane(platform.NewMemoPlane(nil, 0))
+	t.Cleanup(func() { SetDefaultPlane(platform.NewMemoPlane(nil, 0)) })
+	const lanes = 8
+	errs := make(chan error, lanes)
+	var wg sync.WaitGroup
+	for lane := 0; lane < lanes; lane++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			for j := lane; j < jobs; j += lanes {
+				i := j % len(specs)
+				rep, err := Run(specs[i], DefaultPlane())
+				if err != nil {
+					errs <- fmt.Errorf("job %d: %w", j, err)
+					return
+				}
+				if got, err := json.Marshal(rep.Aggregates); err != nil || string(got) != want[i] {
+					errs <- fmt.Errorf("job %d (%s): aggregates diverged under load", j, specs[i].Name)
+					return
+				}
+			}
+		}(lane)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestParseSpecJSON covers the spec file round trip and its error paths.
+func TestParseSpecJSON(t *testing.T) {
+	s, err := ParseSpecJSON([]byte(`{
+		"name": "nightly", "devices": 100, "preset": "odrips",
+		"horizon": "6h", "wake_period": "30s", "shards": 4,
+		"spread": {
+			"seed_base": 10, "drift_ppb": [0, 40],
+			"battery_mwh": [36000], "jitter_steps": ["0s", "250ms"],
+			"faults": [{"device": 3, "plan": "wake@1.3"}]
+		}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Devices != 100 || s.Horizon != 6*sim.Hour || s.Shards != 4 {
+		t.Errorf("parsed spec %+v", s)
+	}
+	if len(s.Spread.JitterSteps) != 2 || s.Spread.JitterSteps[1] != 250*sim.Millisecond {
+		t.Errorf("jitter steps %v", s.Spread.JitterSteps)
+	}
+	if len(s.Spread.Faults) != 1 || s.Spread.Faults[0].Plan != "wake@1.3" {
+		t.Errorf("faults %+v", s.Spread.Faults)
+	}
+
+	for name, bad := range map[string]string{
+		"unknown field": `{"devices": 1, "typo_knob": 3}`,
+		"bad duration":  `{"devices": 1, "horizon": "6 fortnights"}`,
+		"bad plan":      `{"devices": 1, "spread": {"faults": [{"device": 0, "plan": "nonsense"}]}}`,
+		"no devices":    `{}`,
+	} {
+		if _, err := ParseSpecJSON([]byte(bad)); err == nil {
+			t.Errorf("%s: accepted %s", name, bad)
+		}
+	}
+}
+
+// TestFleetSpecValidation exercises Spec.Validate edges and the shard
+// split invariants.
+func TestFleetSpecValidation(t *testing.T) {
+	for name, s := range map[string]Spec{
+		"too many shards": {Devices: 2, Shards: 3},
+		"bad preset":      {Devices: 1, Preset: "warp-drive"},
+		"jitter >= wake":  {Devices: 1, Spread: Spread{JitterSteps: []sim.Duration{40 * sim.Second}}},
+		"fault oob":       {Devices: 2, Spread: Spread{Faults: []DeviceFaults{{Device: 2, Plan: "wake@1.3"}}}},
+	} {
+		if err := s.withDefaults().Validate(); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+	}
+
+	s := Spec{Devices: 10, Shards: 4}.withDefaults()
+	devices, err := expand(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, s.Shards)
+	prev := 0
+	for _, d := range devices {
+		if d.shard < prev || d.shard >= s.Shards {
+			t.Fatalf("device %d: shard %d not a contiguous split", d.index, d.shard)
+		}
+		prev = d.shard
+		counts[d.shard]++
+	}
+	for i, c := range counts {
+		if c < 2 || c > 3 { // 10 devices over 4 shards: 3/2/3/2
+			t.Errorf("shard %d has %d devices; want balanced", i, c)
+		}
+	}
+}
+
+// TestFleetAcceptanceScale pins the headline perf claim structurally
+// (so it cannot rot with machine speed): the 10k-device six-hour
+// acceptance fleet must simulate at most 1/50th of its device-cycles —
+// the engine replaces ≥50× of the sequential work — at a ≥90%
+// cross-device hit rate.
+func TestFleetAcceptanceScale(t *testing.T) {
+	s := Spec{
+		Name:    "acceptance",
+		Devices: 10000,
+		Shards:  16,
+		Spread: Spread{
+			SeedStride: 3,
+			BatteryMWh: []float64{36000, 30000, 28000},
+		},
+	}
+	rep, err := Run(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Memo.CrossDeviceHitRatePct < 90 {
+		t.Errorf("cross-device hit rate %.3f%% < 90%%", rep.Memo.CrossDeviceHitRatePct)
+	}
+	if got, budget := rep.Memo.SimulatedCycles, rep.Aggregates.TotalDeviceCycles/50; got > budget {
+		t.Errorf("simulated %d of %d device-cycles; 50x bound allows %d",
+			got, rep.Aggregates.TotalDeviceCycles, budget)
+	}
+	if rep.Aggregates.TotalDeviceCycles != 719*10000 {
+		t.Errorf("total device-cycles %d; want 7,190,000 (719 per device)", rep.Aggregates.TotalDeviceCycles)
+	}
+}

@@ -1,0 +1,83 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"odrips/internal/sim"
+)
+
+// specJSON is the on-disk fleet spec: the Spec fields with durations as
+// human strings ("6h", "30s", "250ms") so spec files stay readable.
+type specJSON struct {
+	Name         string `json:"name"`
+	Devices      int    `json:"devices"`
+	Preset       string `json:"preset"`
+	Horizon      string `json:"horizon"`
+	Active       string `json:"active"`
+	WakePeriod   string `json:"wake_period"`
+	Shards       int    `json:"shards"`
+	Workers      int    `json:"workers"`
+	PlaneClasses int    `json:"plane_classes"`
+	Spread       struct {
+		SeedBase    int64     `json:"seed_base"`
+		SeedStride  int64     `json:"seed_stride"`
+		DriftPPB    []int64   `json:"drift_ppb"`
+		BatteryMWh  []float64 `json:"battery_mwh"`
+		JitterSteps []string  `json:"jitter_steps"`
+		Faults      []struct {
+			Device int    `json:"device"`
+			Plan   string `json:"plan"`
+		} `json:"faults"`
+	} `json:"spread"`
+}
+
+// ParseSpecJSON decodes a fleet spec file. Unknown fields are errors
+// (a typoed knob silently defaulting would corrupt a fleet study), and
+// the decoded spec is validated after defaulting.
+func ParseSpecJSON(data []byte) (Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var sj specJSON
+	if err := dec.Decode(&sj); err != nil {
+		return Spec{}, fmt.Errorf("fleet: spec: %w", err)
+	}
+	s := Spec{
+		Name:         sj.Name,
+		Devices:      sj.Devices,
+		Preset:       sj.Preset,
+		Shards:       sj.Shards,
+		Workers:      sj.Workers,
+		PlaneClasses: sj.PlaneClasses,
+	}
+	var err error
+	if s.Horizon, err = parseDur(sj.Horizon); err != nil {
+		return Spec{}, fmt.Errorf("fleet: spec horizon: %w", err)
+	}
+	if s.Active, err = parseDur(sj.Active); err != nil {
+		return Spec{}, fmt.Errorf("fleet: spec active: %w", err)
+	}
+	if s.WakePeriod, err = parseDur(sj.WakePeriod); err != nil {
+		return Spec{}, fmt.Errorf("fleet: spec wake_period: %w", err)
+	}
+	s.Spread.SeedBase = sj.Spread.SeedBase
+	s.Spread.SeedStride = sj.Spread.SeedStride
+	s.Spread.DriftPPB = sj.Spread.DriftPPB
+	s.Spread.BatteryMWh = sj.Spread.BatteryMWh
+	if len(sj.Spread.JitterSteps) > 0 {
+		s.Spread.JitterSteps = make([]sim.Duration, len(sj.Spread.JitterSteps))
+		for i, js := range sj.Spread.JitterSteps {
+			if s.Spread.JitterSteps[i], err = parseDur(js); err != nil {
+				return Spec{}, fmt.Errorf("fleet: spec jitter step %d: %w", i, err)
+			}
+		}
+	}
+	for _, f := range sj.Spread.Faults {
+		s.Spread.Faults = append(s.Spread.Faults, DeviceFaults{Device: f.Device, Plan: f.Plan})
+	}
+	if err := s.withDefaults().Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}

@@ -127,14 +127,20 @@ func (e *CorruptError) Error() string {
 	return fmt.Sprintf("memostore: corrupt entry %s: %s", e.Path, e.Reason)
 }
 
-// Stats counts store outcomes since Open.
+// Stats counts store outcomes since Open, plus a point-in-time view of
+// the store's footprint taken when Stats() is called.
 type Stats struct {
-	Hits        uint64 // loads that returned a verified payload
-	Misses      uint64 // absent entries (or key-hash collisions)
-	Corrupt     uint64 // malformed entries, degraded to misses
-	VersionSkew uint64 // schema/build-fingerprint mismatches, degraded to misses
-	Writes      uint64 // entries persisted
-	WriteErrors uint64 // failed persists (dropped; never fatal)
+	Hits        uint64 `json:"hits"`         // loads that returned a verified payload
+	Misses      uint64 `json:"misses"`       // absent entries (or key-hash collisions)
+	Corrupt     uint64 `json:"corrupt"`      // malformed entries, degraded to misses
+	VersionSkew uint64 `json:"version_skew"` // schema/build-fingerprint mismatches, degraded to misses
+	Writes      uint64 `json:"writes"`       // entries persisted
+	WriteErrors uint64 `json:"write_errors"` // failed persists (dropped; never fatal)
+
+	// Footprint snapshot, filled by Stats() at call time (not counters):
+	Views       int    `json:"views"`        // live decoded in-process views (View minus DropView)
+	DiskEntries uint64 `json:"disk_entries"` // .memo entry files in the store directory
+	DiskBytes   uint64 `json:"disk_bytes"`   // total bytes of those entries
 }
 
 // Store is a content-addressed entry cache rooted at one directory.
@@ -233,14 +239,31 @@ func (s *Store) DropView(class string) {
 	s.views.Delete(class)
 }
 
-// Stats returns a snapshot of the store's counters.
+// Stats returns a snapshot of the store's counters plus its current
+// footprint: live view count and on-disk entry count/bytes. The disk
+// half walks the store directory, so Stats is a reporting call, not a
+// hot-path one; a directory read error simply leaves the disk fields
+// zero (stats must never be able to break a run).
 func (s *Store) Stats() Stats {
 	if s == nil {
 		return Stats{}
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	s.mu.Unlock()
+	s.views.Range(func(_, _ any) bool { st.Views++; return true })
+	if entries, err := os.ReadDir(s.dir); err == nil {
+		for _, e := range entries {
+			if e.IsDir() || filepath.Ext(e.Name()) != ".memo" {
+				continue
+			}
+			st.DiskEntries++
+			if info, err := e.Info(); err == nil {
+				st.DiskBytes += uint64(info.Size())
+			}
+		}
+	}
+	return st
 }
 
 // EntryPath returns the file an entry for (class, key) lives in. The

@@ -151,6 +151,12 @@ type ffState struct {
 	persist    *ffBundle
 	verifyKeys map[ffKey]bool
 
+	// recordCap, when nonzero, overrides the per-platform cycle-class
+	// cap (ffRecordCap / ffPersistRecordCap). The memo plane sets it on
+	// attach: a platform seeded with hundreds of adopted records must
+	// still be allowed to record the classes the plane does not cover.
+	recordCap int
+
 	stats FFStats
 }
 

@@ -381,12 +381,15 @@ func (p *Platform) ffBeginRecording(key ffKey) {
 	if existing != nil && ff.mode != FFVerify && !ff.verifyKeys[key] {
 		return // recorded but not replayable; nothing to gain
 	}
-	capN := ffRecordCap
-	if ff.persist != nil {
-		// With a persistent store attached every class is worth keeping:
-		// a jittered run's classes never recur in-process but do recur
-		// across runs of the same seed.
-		capN = ffPersistRecordCap
+	capN := ff.recordCap
+	if capN == 0 {
+		capN = ffRecordCap
+		if ff.persist != nil {
+			// With a persistent store attached every class is worth
+			// keeping: a jittered run's classes never recur in-process
+			// but do recur across runs of the same seed.
+			capN = ffPersistRecordCap
+		}
 	}
 	if existing == nil && len(ff.records) >= capN {
 		return

@@ -1,0 +1,298 @@
+package platform
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"odrips/internal/lru"
+	"odrips/internal/memostore"
+)
+
+// This file is the shared cross-device cycle-memo plane, the fleet
+// engine's concurrency substrate (DESIGN.md §15). A MemoPlane owns one
+// bounded cache of cycle-record bundles, keyed by memo class — the
+// seed-zeroed canonical configuration — so every device of a fleet that
+// shares a configuration class publishes into and adopts from the same
+// record set: the first device to discover a steady-state cycle pays for
+// it, every other device fast-forwards through it.
+//
+// Why cross-device sharing is sound: a record is only ever used when the
+// live boundary fingerprint recurs, and the fingerprint is recomputed
+// from live platform state at every cycle boundary (ffcycle.go). A record
+// published by device A and adopted by device B therefore replays on B
+// only at boundaries where B's observable state is bit-identical to the
+// state A recorded from — any divergence (different drift, different
+// context bytes reflected in the eMRAM hash, a fault's aftermath) changes
+// the fingerprint and degrades to a full simulation, never to corruption.
+// Zeroing the seed in the class key is the same identity the experiment
+// runner's canonicalPointConfig proves empirically: the seed varies
+// context bytes, and every fingerprinted quantity is size- or
+// state-based, never DRAM-content-based.
+//
+// Determinism: bundle publication is commutative — records are immutable
+// once published, first publisher of a key wins, and two publishers of
+// the same key hold byte-identical records (same fingerprint, same cycle
+// parameters, deterministic simulation) — so the plane's record content
+// is independent of attach/publish interleaving as long as no class is
+// evicted mid-job. Per-device replay statistics are NOT interleaving
+// independent against a live plane (whether a device records or replays a
+// class depends on who got there first); fleets that need byte-identical
+// stats at any worker count run against a frozen MemoSnapshot instead
+// (the fleet engine's two-phase discipline).
+
+// DefaultMemoPlaneClasses bounds a plane that was created without an
+// explicit class budget.
+const DefaultMemoPlaneClasses = 256
+
+// MemoPlane is a bounded, concurrent, shareable cycle-memo plane. All
+// methods are safe for concurrent use; a nil plane is inert.
+type MemoPlane struct {
+	store *memostore.Store // optional persistence backing; may be nil
+
+	// mu serializes class acquisition so exactly one bundle exists per
+	// class (a racing double-build would split publishers across orphan
+	// bundles). Record access inside a bundle has its own lock.
+	mu      sync.Mutex
+	classes *lru.Cache[string, *ffBundle]
+
+	adopted atomic.Uint64
+}
+
+// NewMemoPlane creates a plane bounded to maxClasses configuration
+// classes (maxClasses < 1 uses DefaultMemoPlaneClasses). store, when
+// non-nil and readable, warms classes from disk on first acquisition and
+// receives dirty bundles on Flush and on eviction; a Verify-mode store is
+// treated as detached — the plane's verification path is
+// -fastforward=verify, which re-simulates and diffs adopted records.
+func NewMemoPlane(store *memostore.Store, maxClasses int) *MemoPlane {
+	if maxClasses < 1 {
+		maxClasses = DefaultMemoPlaneClasses
+	}
+	if store.Mode() == memostore.Verify {
+		store = nil
+	}
+	return &MemoPlane{
+		store:   store,
+		classes: lru.New[string, *ffBundle](maxClasses),
+	}
+}
+
+// MemoClassKey maps a configuration to its memo class: the seed-zeroed
+// canonical key under which the plane shares cycle records. See the
+// soundness argument at the top of this file for why seed zeroing is an
+// identity here.
+func MemoClassKey(cfg Config) string {
+	cfg.Seed = 0
+	return ffConfigKey(cfg)
+}
+
+// acquire returns the plane's bundle for classKey, creating (and, with a
+// readable store, disk-loading) it on first use. If creating the bundle
+// evicts another class, the victim's unsaved records are flushed to the
+// store first so the bound costs a reload, not recorded work.
+func (pl *MemoPlane) acquire(classKey string) *ffBundle {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if b, ok := pl.classes.Get(classKey); ok {
+		return b
+	}
+	b := &ffBundle{
+		key:      classKey,
+		loaded:   true,
+		records:  make(map[ffKey]*cycleRecord),
+		fromDisk: make(map[ffKey]bool),
+	}
+	switch payload, ok, err := pl.store.Load("cycles", []byte(classKey)); {
+	case err != nil:
+		// Typed corruption is a fail-safe miss by the store's contract:
+		// counted there, the class starts cold, a later flush overwrites
+		// the damaged entry.
+	case ok:
+		if recs, derr := ffDecodeBundle(payload); derr == nil {
+			b.records = recs
+			for k := range recs {
+				b.fromDisk[k] = true
+			}
+		}
+		// A decode error degrades to a cold class (see ffAcquireBundle).
+	}
+	if _, victim, evicted := pl.classes.Put(classKey, b); evicted {
+		pl.flushBundle(victim)
+	}
+	return b
+}
+
+// Attach hooks a platform into the plane: it adopts every record already
+// known for the platform's memo class and publishes the records the
+// platform goes on to discover. The platform's own persistent-store
+// attachment (if New made one) is superseded — the plane owns disk
+// persistence for its classes. A nil plane leaves the platform untouched.
+func (pl *MemoPlane) Attach(p *Platform) {
+	if pl == nil {
+		return
+	}
+	b := pl.acquire(MemoClassKey(p.cfg))
+	ff := &p.ff
+	ff.store = nil // the plane flushes; RunCycles' own flush becomes a no-op
+	ff.persist = b
+	ff.verifyKeys = nil
+	ff.recordCap = ffPersistRecordCap
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.records) == 0 {
+		return
+	}
+	if ff.records == nil {
+		ff.records = make(map[ffKey]*cycleRecord, len(b.records))
+	}
+	for k, cr := range b.records {
+		ff.records[k] = cr
+	}
+	pl.adopted.Add(uint64(len(b.records)))
+}
+
+// flushBundle persists one bundle's unsaved records (no-op without a
+// writable store). Callers must not hold the bundle's lock.
+func (pl *MemoPlane) flushBundle(b *ffBundle) {
+	if b == nil || !pl.store.Mode().Writable() {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.dirty || len(b.records) == 0 {
+		return
+	}
+	pl.store.Save("cycles", []byte(b.key), ffEncodeBundle(b.records))
+	b.dirty = false
+}
+
+// Flush persists every class that gained records since its last flush.
+// Fleet jobs call it once at the end instead of paying a disk write per
+// device run. A nil plane is a no-op.
+func (pl *MemoPlane) Flush() {
+	if pl == nil {
+		return
+	}
+	for _, key := range pl.classes.Keys() {
+		if b, ok := pl.classes.Peek(key); ok {
+			pl.flushBundle(b)
+		}
+	}
+}
+
+// MemoPlaneStats is a point-in-time snapshot of a plane.
+type MemoPlaneStats struct {
+	Classes    int       `json:"classes"`     // live configuration classes
+	Records    int       `json:"records"`     // cycle records across all live classes
+	MaxClasses int       `json:"max_classes"` // the class bound
+	Adopted    uint64    `json:"adopted"`     // records handed to attaching platforms so far
+	Class      lru.Stats `json:"class_cache"` // class-cache counters (hits/misses/puts/evictions)
+}
+
+// Stats snapshots the plane. Records walks every live class, so this is
+// a reporting call, not a hot-path one. A nil plane reports zeros.
+func (pl *MemoPlane) Stats() MemoPlaneStats {
+	if pl == nil {
+		return MemoPlaneStats{}
+	}
+	st := MemoPlaneStats{
+		Classes:    pl.classes.Len(),
+		MaxClasses: pl.classes.Cap(),
+		Adopted:    pl.adopted.Load(),
+		Class:      pl.classes.Stats(),
+	}
+	for _, key := range pl.classes.Keys() {
+		if b, ok := pl.classes.Peek(key); ok {
+			b.mu.Lock()
+			st.Records += len(b.records)
+			b.mu.Unlock()
+		}
+	}
+	return st
+}
+
+// StoreStats snapshots the plane's backing store (zeros when detached).
+func (pl *MemoPlane) StoreStats() memostore.Stats {
+	if pl == nil {
+		return memostore.Stats{}
+	}
+	return pl.store.Stats()
+}
+
+// MemoSnapshot is a frozen copy of a plane's record content. Platforms
+// attached to a snapshot adopt records but never publish, so a run
+// against a snapshot is a pure function of (configuration, workload,
+// snapshot) — the property the fleet engine's phase-2 executions need for
+// replay statistics that are byte-identical at any shard/worker count.
+// The record pointers are shared with the plane (records are immutable
+// once published); only the index maps are copied.
+type MemoSnapshot struct {
+	classes map[string]map[ffKey]*cycleRecord
+}
+
+// Snapshot freezes the plane's current record content. Classes are
+// walked in sorted key order so the copy itself is deterministic for a
+// deterministic plane.
+func (pl *MemoPlane) Snapshot() *MemoSnapshot {
+	snap := &MemoSnapshot{classes: make(map[string]map[ffKey]*cycleRecord)}
+	if pl == nil {
+		return snap
+	}
+	keys := pl.classes.Keys()
+	sort.Strings(keys)
+	for _, key := range keys {
+		b, ok := pl.classes.Peek(key)
+		if !ok {
+			continue
+		}
+		b.mu.Lock()
+		if len(b.records) > 0 {
+			recs := make(map[ffKey]*cycleRecord, len(b.records))
+			for k, cr := range b.records {
+				recs[k] = cr
+			}
+			snap.classes[key] = recs
+		}
+		b.mu.Unlock()
+	}
+	return snap
+}
+
+// Classes returns the number of classes holding records in the snapshot.
+func (s *MemoSnapshot) Classes() int { return len(s.classes) }
+
+// Records returns the total record count across the snapshot's classes.
+func (s *MemoSnapshot) Records() int {
+	n := 0
+	for _, recs := range s.classes {
+		n += len(recs)
+	}
+	return n
+}
+
+// Attach hooks a platform into the frozen snapshot: records for the
+// platform's memo class are adopted, nothing is published anywhere, and
+// no store is attached — the run can no longer observe or influence any
+// shared mutable state through the memo layer.
+func (s *MemoSnapshot) Attach(p *Platform) {
+	if s == nil {
+		return
+	}
+	ff := &p.ff
+	ff.store = nil
+	ff.persist = nil
+	ff.verifyKeys = nil
+	ff.recordCap = ffPersistRecordCap
+	recs := s.classes[MemoClassKey(p.cfg)]
+	if len(recs) == 0 {
+		return
+	}
+	if ff.records == nil {
+		ff.records = make(map[ffKey]*cycleRecord, len(recs))
+	}
+	for k, cr := range recs {
+		ff.records[k] = cr
+	}
+}

@@ -1,0 +1,170 @@
+package platform
+
+import (
+	"reflect"
+	"testing"
+
+	"odrips/internal/memostore"
+	"odrips/internal/sim"
+	"odrips/internal/workload"
+)
+
+// planeCycles is a short steady-state run: long enough to reach and
+// repeat the steady cycle, short enough for the test tier.
+func planeCycles() []workload.Cycle {
+	return workload.Fixed(40, 2*sim.Millisecond, 30*sim.Second)
+}
+
+func planeRun(t *testing.T, cfg Config, attach func(*Platform)) (Result, FFStats) {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attach != nil {
+		attach(p)
+	}
+	res, err := p.RunCycles(planeCycles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, p.FFStats()
+}
+
+// stripConfig zeroes the Config echo so results from different seeds can
+// be compared field-for-field.
+func stripConfig(r Result) Result {
+	r.Config = Config{}
+	return r
+}
+
+// TestMemoPlaneCrossDeviceSharing is the plane's core claim: the first
+// device pays for the steady-state cycle, a second device of the same
+// memo class — even with a different seed — replays it, and both report
+// results byte-identical to an unattached run.
+func TestMemoPlaneCrossDeviceSharing(t *testing.T) {
+	cfgA := ODRIPSConfig()
+	cfgB := cfgA
+	cfgB.Seed = 99
+	if MemoClassKey(cfgA) != MemoClassKey(cfgB) {
+		t.Fatal("seeds split the memo class")
+	}
+
+	soloA, _ := planeRun(t, cfgA, nil)
+	soloB, _ := planeRun(t, cfgB, nil)
+
+	plane := NewMemoPlane(nil, 0)
+	gotA, statsA := planeRun(t, cfgA, plane.Attach)
+	gotB, statsB := planeRun(t, cfgB, plane.Attach)
+
+	if !reflect.DeepEqual(gotA, soloA) {
+		t.Errorf("device A: plane-attached result diverged from solo run")
+	}
+	if !reflect.DeepEqual(gotB, soloB) {
+		t.Errorf("device B: plane-attached result diverged from solo run")
+	}
+	if statsA.CyclesRecorded == 0 {
+		t.Errorf("device A recorded no cycles: %+v", statsA)
+	}
+	if statsB.CyclesReplayed == 0 {
+		t.Errorf("device B replayed nothing from the shared plane: %+v", statsB)
+	}
+	if statsB.CyclesRecorded >= statsA.CyclesRecorded {
+		t.Errorf("device B re-recorded the plane's classes (A %d, B %d)",
+			statsA.CyclesRecorded, statsB.CyclesRecorded)
+	}
+
+	st := plane.Stats()
+	if st.Classes != 1 {
+		t.Errorf("plane classes = %d want 1", st.Classes)
+	}
+	if st.Records == 0 || st.Adopted == 0 {
+		t.Errorf("plane stats %+v: want records and adoptions", st)
+	}
+}
+
+// TestMemoSnapshotIsFrozen: a snapshot-attached run adopts records but
+// publishes nothing, and its results match the live-plane run exactly.
+func TestMemoSnapshotIsFrozen(t *testing.T) {
+	cfg := ODRIPSConfig()
+	plane := NewMemoPlane(nil, 0)
+	want, _ := planeRun(t, cfg, plane.Attach)
+
+	snap := plane.Snapshot()
+	if snap.Classes() != 1 || snap.Records() == 0 {
+		t.Fatalf("snapshot classes=%d records=%d", snap.Classes(), snap.Records())
+	}
+	recordsBefore := plane.Stats().Records
+
+	got, stats := planeRun(t, cfg, snap.Attach)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("snapshot-attached result diverged from live-plane run")
+	}
+	if stats.CyclesReplayed == 0 {
+		t.Errorf("snapshot run replayed nothing: %+v", stats)
+	}
+	if after := plane.Stats().Records; after != recordsBefore {
+		t.Errorf("snapshot run published to the plane: %d -> %d records", recordsBefore, after)
+	}
+
+	// A second snapshot run is a pure function of (cfg, cycles, snap):
+	// identical replay statistics, not just identical results.
+	_, stats2 := planeRun(t, cfg, snap.Attach)
+	if stats2 != stats {
+		t.Errorf("snapshot runs disagree on stats: %+v vs %+v", stats, stats2)
+	}
+}
+
+// TestMemoPlanePersistence: Flush writes plane classes through the store,
+// and a fresh plane over the same store adopts them without simulating.
+func TestMemoPlanePersistence(t *testing.T) {
+	dir := t.TempDir()
+	store, err := memostore.Open(dir, memostore.RW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ODRIPSConfig()
+
+	plane1 := NewMemoPlane(store, 0)
+	want, _ := planeRun(t, cfg, plane1.Attach)
+	plane1.Flush()
+	if st := store.Stats(); st.Writes == 0 {
+		t.Fatalf("Flush wrote nothing: %+v", st)
+	}
+
+	plane2 := NewMemoPlane(store, 0)
+	got, stats := planeRun(t, cfg, plane2.Attach)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("disk-warmed plane result diverged")
+	}
+	if stats.CyclesReplayed == 0 || plane2.Stats().Adopted == 0 {
+		t.Errorf("fresh plane adopted nothing from disk: ff=%+v plane=%+v", stats, plane2.Stats())
+	}
+}
+
+// TestMemoPlaneEvictionFlushes: pushing a class out of a size-1 plane
+// persists its records, so the bound costs a disk reload, not rework.
+func TestMemoPlaneEvictionFlushes(t *testing.T) {
+	store, err := memostore.Open(t.TempDir(), memostore.RW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plane := NewMemoPlane(store, 1)
+	planeRun(t, ODRIPSConfig(), plane.Attach)
+
+	baseline := DefaultConfig() // different memo class; evicts the first
+	planeRun(t, baseline, plane.Attach)
+	if st := plane.Stats(); st.Classes != 1 || st.Class.Evictions != 1 {
+		t.Fatalf("plane stats %+v: want 1 class, 1 eviction", st)
+	}
+	if st := store.Stats(); st.Writes == 0 {
+		t.Fatalf("eviction did not flush the victim: %+v", st)
+	}
+
+	// Re-acquiring the evicted class reloads it from disk.
+	plane2 := NewMemoPlane(store, 1)
+	_, stats := planeRun(t, ODRIPSConfig(), plane2.Attach)
+	if stats.CyclesReplayed == 0 {
+		t.Errorf("evicted-and-reloaded class replayed nothing: %+v", stats)
+	}
+}
