@@ -3,7 +3,7 @@ PKGS     := ./...
 STAMP    := $(shell date -u +%Y%m%dT%H%M%SZ)
 FUZZTIME ?= 60s
 
-.PHONY: all build test vet lint lint-fixtures race verify fleet-smoke fuzz bench bench-smoke bench-sweep bench-baseline-1x bench-gate bench-warm benchdiff profile profile-diff clean
+.PHONY: all build test vet lint lint-fixtures race verify fleet-smoke server-smoke fuzz bench bench-smoke bench-sweep bench-baseline-1x bench-gate bench-warm benchdiff profile profile-diff clean
 
 all: build test
 
@@ -55,6 +55,28 @@ fleet-smoke:
 	@rm -rf $(FLEETDIR)
 	@echo fleet-smoke OK
 
+# Server smoke tier: build odrips-server and odrips-loadgen, bring the
+# server up on an ephemeral port, replay SERVER_SMOKE_JOBS bursty
+# submissions (zero drops, monotone progress, per-class byte-identical
+# aggregates — loadgen exits nonzero on any violation), then SIGTERM
+# the server and require a clean drain (exit 0). Run by CI on every
+# push.
+SMOKEDIR          := $(CURDIR)/.odrips-server-smoke
+SERVER_SMOKE_JOBS ?= 200
+server-smoke:
+	rm -rf $(SMOKEDIR) && mkdir -p $(SMOKEDIR)
+	$(GO) build -o $(SMOKEDIR)/ ./cmd/odrips-server ./cmd/odrips-loadgen
+	$(SMOKEDIR)/odrips-server -addr 127.0.0.1:0 -workers 4 > $(SMOKEDIR)/server.log 2>&1 & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do grep -q 'listening on' $(SMOKEDIR)/server.log 2>/dev/null && break; sleep 0.1; done; \
+	addr=$$(sed -n 's/.*listening on //p' $(SMOKEDIR)/server.log | head -1); \
+	if [ -z "$$addr" ]; then echo "server-smoke: server never came up"; cat $(SMOKEDIR)/server.log; kill $$pid 2>/dev/null; exit 1; fi; \
+	$(SMOKEDIR)/odrips-loadgen -addr "http://$$addr" -jobs $(SERVER_SMOKE_JOBS) -burst -concurrency 32 || { kill $$pid 2>/dev/null; exit 1; }; \
+	kill -TERM $$pid; \
+	wait $$pid || { echo "server-smoke: server exited nonzero after SIGTERM"; cat $(SMOKEDIR)/server.log; exit 1; }
+	@rm -rf $(SMOKEDIR)
+	@echo server-smoke OK
+
 # Long-run every fuzz target for FUZZTIME each (go only allows one -fuzz
 # pattern per package invocation). Run nightly by
 # .github/workflows/nightly-fuzz.yml; set FUZZTIME=5s for a local smoke.
@@ -66,6 +88,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzUnpackBootImage$$' -fuzztime $(FUZZTIME) ./internal/ctxstore
 	$(GO) test -run '^$$' -fuzz '^FuzzFaultPlan$$' -fuzztime $(FUZZTIME) ./internal/faults
 	$(GO) test -run '^$$' -fuzz '^FuzzMemoStoreLoad$$' -fuzztime $(FUZZTIME) ./internal/memostore
+	$(GO) test -run '^$$' -fuzz '^FuzzJobSpec$$' -fuzztime $(FUZZTIME) ./internal/fleet
 
 # Record the full benchmark suite (with allocation stats) to a timestamped
 # JSON artifact for before/after comparison. Written to a temp file and

@@ -1,0 +1,329 @@
+// Command odrips-loadgen replays concurrent bursty job submissions
+// against a running odrips-server and asserts the serving contract:
+//
+//   - zero dropped jobs: every submission is eventually accepted
+//     (503 queue_full answers are retried with backoff — backpressure
+//     is allowed, loss is not) and every accepted job reaches "done";
+//   - monotone progress: no progress frame of a job's results stream
+//     moves any counter backwards;
+//   - deterministic results: every job of a spec class streams a
+//     byte-identical aggregates frame (the digests are printed, so two
+//     loadgen runs against servers with different -workers counts can
+//     be diffed line for line).
+//
+// Usage:
+//
+//	odrips-loadgen -addr http://127.0.0.1:8080 -jobs 1000 -burst
+//	odrips-loadgen -addr http://127.0.0.1:8080 -jobs 200
+//
+// Exit status: 0 all assertions held, 1 a contract violation, 2 usage
+// or transport failure.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "odrips-server base URL")
+	jobs := flag.Int("jobs", 200, "total submissions")
+	conc := flag.Int("concurrency", 16, "concurrent submitter/watcher goroutines")
+	classes := flag.Int("classes", 3, "distinct spec classes cycled over the jobs")
+	devices := flag.Int("devices", 12, "fleet size per job")
+	horizon := flag.String("horizon", "2m", "simulated horizon per job")
+	burst := flag.Bool("burst", false, "submit everything first (stress backpressure), then watch; default interleaves")
+	timeout := flag.Duration("timeout", 10*time.Minute, "overall deadline")
+	flag.Parse()
+
+	if *jobs < 1 || *conc < 1 || *classes < 1 {
+		fmt.Fprintln(os.Stderr, "odrips-loadgen: -jobs, -concurrency and -classes must be positive")
+		os.Exit(2)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	lg := &loadgen{
+		base:    strings.TrimSuffix(*addr, "/"),
+		client:  &http.Client{},
+		classes: make([]string, *classes),
+	}
+	for k := range lg.classes {
+		lg.classes[k] = classSpec(k, *devices, *horizon)
+	}
+
+	// Probe before unleashing the fleet of submitters.
+	if err := lg.health(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "odrips-loadgen: server not reachable: %v\n", err)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	if *burst {
+		ids := lg.fanOut(ctx, *jobs, *conc, func(ctx context.Context, i int) (string, error) {
+			return lg.submit(ctx, i%len(lg.classes))
+		})
+		lg.fanOut(ctx, *jobs, *conc, func(ctx context.Context, i int) (string, error) {
+			if ids[i] == "" {
+				return "", nil // its submission already failed and was recorded
+			}
+			return "", lg.watch(ctx, ids[i], i%len(lg.classes))
+		})
+	} else {
+		lg.fanOut(ctx, *jobs, *conc, func(ctx context.Context, i int) (string, error) {
+			id, err := lg.submit(ctx, i%len(lg.classes))
+			if err != nil {
+				return "", err
+			}
+			return id, lg.watch(ctx, id, i%len(lg.classes))
+		})
+	}
+	elapsed := time.Since(start)
+
+	lg.mu.Lock()
+	defer lg.mu.Unlock()
+	fmt.Printf("odrips-loadgen: %d jobs, %d done, %d queue_full retries, %d classes, %.1fs\n",
+		*jobs, lg.done, lg.retries, len(lg.classes), elapsed.Seconds())
+	digests := make([]string, 0, len(lg.digest))
+	for k, d := range lg.digest {
+		digests = append(digests, fmt.Sprintf("class %d aggregates sha256 %s", k, d))
+	}
+	sort.Strings(digests)
+	for _, d := range digests {
+		fmt.Println(d)
+	}
+	if len(lg.violations) > 0 {
+		for _, v := range lg.violations {
+			fmt.Fprintf(os.Stderr, "odrips-loadgen: VIOLATION: %s\n", v)
+		}
+		os.Exit(1)
+	}
+	if lg.done != *jobs {
+		fmt.Fprintf(os.Stderr, "odrips-loadgen: VIOLATION: %d of %d jobs completed\n", lg.done, *jobs)
+		os.Exit(1)
+	}
+	fmt.Println("odrips-loadgen: OK")
+}
+
+// classSpec builds the k-th deterministic spec class: distinct enough
+// to have their own run classes, small enough to finish in seconds.
+func classSpec(k, devices int, horizon string) string {
+	return fmt.Sprintf(`{"name":"load-%d","devices":%d,"horizon":%q,"shards":%d,`+
+		`"spread":{"drift_ppb":[0,%d],"jitter_steps":["0s","%dms"]}}`,
+		k, devices, horizon, k%3+1, 40*(k+1), 50*(k+1))
+}
+
+type loadgen struct {
+	base    string
+	client  *http.Client
+	classes []string
+
+	mu         sync.Mutex
+	retries    int
+	done       int
+	digest     map[int]string // class → aggregates sha256
+	violations []string
+}
+
+func (lg *loadgen) violate(format string, args ...any) {
+	lg.mu.Lock()
+	defer lg.mu.Unlock()
+	lg.violations = append(lg.violations, fmt.Sprintf(format, args...))
+}
+
+// fanOut runs fn for every job index on conc goroutines and collects
+// the per-index results. fn errors are recorded as violations.
+func (lg *loadgen) fanOut(ctx context.Context, jobs, conc int, fn func(context.Context, int) (string, error)) []string {
+	out := make([]string, jobs)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				id, err := fn(ctx, i)
+				if err != nil {
+					lg.violate("job %d: %v", i, err)
+					continue
+				}
+				out[i] = id
+			}
+		}()
+	}
+	for i := 0; i < jobs; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+func (lg *loadgen) health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, lg.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := lg.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// submit posts one job of the class, retrying queue_full with backoff
+// until the deadline. Any other non-202 answer is a violation.
+func (lg *loadgen) submit(ctx context.Context, class int) (string, error) {
+	backoff := 5 * time.Millisecond
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			lg.base+"/v1/jobs", strings.NewReader(lg.classes[class]))
+		if err != nil {
+			return "", err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := lg.client.Do(req)
+		if err != nil {
+			return "", err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return "", err
+		}
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			var jv struct {
+				ID string `json:"id"`
+			}
+			if err := json.Unmarshal(body, &jv); err != nil || jv.ID == "" {
+				return "", fmt.Errorf("202 with unusable body %q: %v", body, err)
+			}
+			return jv.ID, nil
+		case http.StatusServiceUnavailable:
+			lg.mu.Lock()
+			lg.retries++
+			lg.mu.Unlock()
+			select {
+			case <-ctx.Done():
+				return "", fmt.Errorf("dropped: deadline during queue_full backoff: %w", ctx.Err())
+			case <-time.After(backoff):
+			}
+			if backoff < 500*time.Millisecond {
+				backoff *= 2
+			}
+		default:
+			return "", fmt.Errorf("submit rejected: status %d body %s", resp.StatusCode, body)
+		}
+	}
+}
+
+// progressCounters is the subset of the progress frame the monotone
+// assertion tracks.
+type progressCounters struct {
+	DevicesDone  int    `json:"devices_done"`
+	CyclesDone   uint64 `json:"cycles_done"`
+	WarmRunsDone int    `json:"warm_runs_done"`
+	RunsDone     int    `json:"runs_done"`
+}
+
+// watch streams the job's results, asserting framing, monotone
+// progress, terminal done state, and the class's aggregates digest.
+func (lg *loadgen) watch(ctx context.Context, id string, class int) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		lg.base+"/v1/jobs/"+id+"/results", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := lg.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("results: status %d", resp.StatusCode)
+	}
+
+	var (
+		last      progressCounters
+		lastFrame string
+		frames    int
+		aggDigest string
+	)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var f struct {
+			Frame string `json:"frame"`
+			State string `json:"state"`
+			Job   struct {
+				Progress progressCounters `json:"progress"`
+			} `json:"job"`
+			Payload json.RawMessage `json:"payload"`
+		}
+		if err := json.Unmarshal(line, &f); err != nil {
+			return fmt.Errorf("unparsable stream line %q: %v", line, err)
+		}
+		frames++
+		lastFrame = f.Frame
+		switch f.Frame {
+		case "progress":
+			p := f.Job.Progress
+			if p.DevicesDone < last.DevicesDone || p.CyclesDone < last.CyclesDone ||
+				p.WarmRunsDone < last.WarmRunsDone || p.RunsDone < last.RunsDone {
+				return fmt.Errorf("progress moved backwards: %+v then %+v", last, p)
+			}
+			last = p
+		case "aggregates":
+			sum := sha256.Sum256(bytes.TrimSpace(f.Payload))
+			aggDigest = hex.EncodeToString(sum[:])
+		case "error":
+			return fmt.Errorf("error frame: %s", line)
+		case "done":
+			if f.State != "done" {
+				return fmt.Errorf("terminal state %q", f.State)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("stream: %w", err)
+	}
+	if frames == 0 || lastFrame != "done" {
+		return fmt.Errorf("stream ended on frame %q after %d frames (job stuck or stream truncated)", lastFrame, frames)
+	}
+	if aggDigest == "" {
+		return fmt.Errorf("no aggregates frame")
+	}
+
+	lg.mu.Lock()
+	defer lg.mu.Unlock()
+	if lg.digest == nil {
+		lg.digest = make(map[int]string)
+	}
+	if prev, ok := lg.digest[class]; ok && prev != aggDigest {
+		lg.violations = append(lg.violations,
+			fmt.Sprintf("job %s: class %d aggregates digest %s diverges from %s", id, class, aggDigest, prev))
+	} else {
+		lg.digest[class] = aggDigest
+	}
+	lg.done++
+	return nil
+}

@@ -58,13 +58,15 @@ type SourceCount struct {
 }
 
 // WakeAgg is the fleet's wake accounting: totals by source plus the
-// wake-storm view (the hottest device) and the coalescing view (idle
-// windows parked shallow instead of reaching DRIPS).
+// wake-storm view (the per-device wake-rate histogram and the hottest
+// device) and the coalescing view (idle windows parked shallow instead
+// of reaching DRIPS).
 type WakeAgg struct {
-	BySource          []SourceCount `json:"by_source"`
-	MeanPerDeviceHour float64       `json:"mean_per_device_hour"`
-	MaxPerDeviceHour  float64       `json:"max_per_device_hour"` // wake storm
-	ShallowIdles      []SourceCount `json:"shallow_idles"`       // coalescing shortfall
+	BySource          []SourceCount       `json:"by_source"`
+	MeanPerDeviceHour float64             `json:"mean_per_device_hour"`
+	MaxPerDeviceHour  float64             `json:"max_per_device_hour"` // wake storm
+	RateHist          []report.HistBucket `json:"rate_hist"`           // devices by wakes/hour
+	ShallowIdles      []SourceCount       `json:"shallow_idles"`       // coalescing shortfall
 }
 
 // Aggregates is the shard- and execution-independent fleet physics.
@@ -115,34 +117,33 @@ type ShardAgg struct {
 }
 
 // dist summarizes values (indexed by device) with nearest-rank
-// percentiles.
+// percentiles (report.Percentiles, the shared deterministic encoder).
 func dist(values []float64) Dist {
 	if len(values) == 0 {
 		return Dist{}
 	}
-	s := append([]float64(nil), values...)
-	sort.Float64s(s)
-	rank := func(q float64) float64 {
-		i := int(math.Ceil(q/100*float64(len(s)))) - 1
-		if i < 0 {
-			i = 0
-		}
-		return s[i]
-	}
+	p := report.Percentiles(values, 0, 5, 25, 50, 75, 95, 99, 100)
 	sum := 0.0
-	for _, v := range s {
+	for _, v := range values {
 		sum += v
 	}
 	return Dist{
-		Min: s[0], P5: rank(5), P25: rank(25), P50: rank(50),
-		P75: rank(75), P95: rank(95), P99: rank(99), Max: s[len(s)-1],
-		Mean: sum / float64(len(s)),
+		Min: p[0], P5: p[1], P25: p[2], P50: p[3],
+		P75: p[4], P95: p[5], P99: p[6], Max: p[7],
+		Mean: sum / float64(len(values)),
 	}
 }
 
 // residencyEdges are the histogram bin edges in DRIPS residency percent;
 // the paper's 99.5% claim sits inside the fourth bin.
 var residencyEdges = []float64{0, 90, 99, 99.5, 99.9, 100.0000001}
+
+// wakeRateEdges bin devices by wakes per device-hour for the wake-storm
+// histogram: 120/h is the paper's nominal 30 s timer cadence, so the
+// bins below it catch coalesced fleets and the bins above are storm
+// territory. The last bin is open-ended in practice (a cycle period is
+// at least a millisecond, so no device can clear 1e7/h).
+var wakeRateEdges = []float64{0, 30, 60, 90, 120, 180, 360, 720, 3600, 1e7}
 
 // aggregate folds per-device patched results into the report. All loops
 // run in device-index order, so every float accumulation is
@@ -182,6 +183,7 @@ func aggregate(
 	wakeBySource := map[string]uint64{}
 	shallow := map[string]uint64{}
 	maxWakeRate := 0.0
+	rateHist := report.NewHist(wakeRateEdges...)
 	var totalWakes uint64
 	var simByDevice uint64
 
@@ -211,7 +213,9 @@ func aggregate(
 		}
 		totalWakes += devWakes
 		if hours > 0 {
-			if rate := float64(devWakes) / hours; rate > maxWakeRate {
+			rate := float64(devWakes) / hours
+			rateHist.Observe(rate)
+			if rate > maxWakeRate {
 				maxWakeRate = rate
 			}
 		}
@@ -269,6 +273,7 @@ func aggregate(
 		agg.Wakes.MeanPerDeviceHour = float64(totalWakes) / agg.TotalSimHours
 	}
 	agg.Wakes.MaxPerDeviceHour = maxWakeRate
+	agg.Wakes.RateHist = rateHist.Buckets()
 
 	for i := range shards {
 		sh := &shards[i]
@@ -324,6 +329,11 @@ func (r *Report) Tables() []*report.Table {
 	}
 	agg.AddNote("wake rate: mean %.1f/device-hour, storm max %.1f/device-hour",
 		r.Aggregates.Wakes.MeanPerDeviceHour, r.Aggregates.Wakes.MaxPerDeviceHour)
+	for _, b := range r.Aggregates.Wakes.RateHist {
+		if b.Count > 0 {
+			agg.AddNote("wake rate [%g/h, %g/h): %d device(s)", b.Lo, b.Hi, b.Count)
+		}
+	}
 
 	memo := report.NewTable("Shared memo plane", "metric", "value")
 	m := &r.Memo

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"fmt"
 
 	"odrips/internal/experiments"
@@ -64,14 +65,29 @@ func runDevice(s Spec, d device, attach func(*platform.Platform)) (runOutcome, e
 }
 
 // runReps evaluates one simulation per representative on the worker pool,
-// results in representative order.
-func runReps(s Spec, reps []classRep, attach func(*platform.Platform)) ([]runOutcome, error) {
+// results in representative order. ctx is checked at every device-run
+// boundary — a canceled job stops claiming new simulations and surfaces
+// ctx's error (wrapped; errors.Is(err, ctx.Err()) holds) after in-flight
+// points drain. onDone, when non-nil, observes each completed
+// representative from its worker goroutine (it must be concurrency-safe;
+// the Progress counters are).
+func runReps(ctx context.Context, s Spec, reps []classRep, attach func(*platform.Platform), onDone func(classRep)) ([]runOutcome, error) {
 	points := make([]experiments.PointSpec[runOutcome], len(reps))
 	for i := range reps {
-		d := reps[i].dev
+		rep := reps[i]
+		d := rep.dev
 		points[i] = experiments.PointSpec[runOutcome]{
 			LabelFn: func() string { return fmt.Sprintf("device %d", d.index) },
-			Run:     func() (runOutcome, error) { return runDevice(s, d, attach) },
+			Run: func() (runOutcome, error) {
+				if err := ctx.Err(); err != nil {
+					return runOutcome{}, fmt.Errorf("fleet: canceled before device %d: %w", d.index, err)
+				}
+				out, err := runDevice(s, d, attach)
+				if err == nil && onDone != nil {
+					onDone(rep)
+				}
+				return out, err
+			},
 		}
 	}
 	results, err := experiments.RunPoints(points, s.Workers)
@@ -95,6 +111,18 @@ func runReps(s Spec, reps []classRep, attach func(*platform.Platform)) ([]runOut
 // other job mutates it concurrently (a congested or contended plane can
 // change memo statistics — never results).
 func Run(s Spec, plane *platform.MemoPlane) (*Report, error) {
+	return RunWithProgress(context.Background(), s, plane, nil)
+}
+
+// RunWithProgress is Run with the serving hooks: ctx cancels the job at
+// the next device-run boundary (the returned error satisfies
+// errors.Is(err, ctx.Err())), and prog, when non-nil, exposes live
+// per-shard completion counters to concurrent readers (one Progress per
+// run). Both may be nil/background; Run is exactly that.
+func RunWithProgress(ctx context.Context, s Spec, plane *platform.MemoPlane, prog *Progress) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s = s.withDefaults()
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -106,6 +134,7 @@ func Run(s Spec, plane *platform.MemoPlane) (*Report, error) {
 
 	memoReps := classesOf(devices, func(d device) string { return d.memoClass })
 	runReps_ := classesOf(devices, func(d device) string { return d.runClass })
+	prog.start(devices, len(memoReps), len(runReps_))
 	if plane == nil {
 		classes := s.PlaneClasses
 		if classes < len(memoReps) {
@@ -118,7 +147,7 @@ func Run(s Spec, plane *platform.MemoPlane) (*Report, error) {
 	// are disjoint, so publication interleaving cannot influence the
 	// plane's content. The phase-1 outcomes are measurement too: they are
 	// the cost the fleet actually paid, reported as warming work.
-	warm, err := runReps(s, memoReps, plane.Attach)
+	warm, err := runReps(ctx, s, memoReps, plane.Attach, func(classRep) { prog.warmRunDone() })
 	if err != nil {
 		return nil, err
 	}
@@ -127,7 +156,7 @@ func Run(s Spec, plane *platform.MemoPlane) (*Report, error) {
 	// class outcome — result and replay statistics — is a pure function
 	// of (spec, snapshot), independent of scheduling.
 	snap := plane.Snapshot()
-	outcomes, err := runReps(s, runReps_, snap.Attach)
+	outcomes, err := runReps(ctx, s, runReps_, snap.Attach, func(r classRep) { prog.runClassDone(r.key) })
 	if err != nil {
 		return nil, err
 	}

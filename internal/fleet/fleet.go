@@ -39,6 +39,7 @@ package fleet
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"odrips/internal/battery"
@@ -155,6 +156,17 @@ func (s Spec) withDefaults() Spec {
 	return s
 }
 
+// Normalized returns the spec with defaults filled and validated — the
+// form the job queue runs and hashes for job identities, so two
+// submissions differing only in defaulted fields are the same job.
+func (s Spec) Normalized() (Spec, error) {
+	s = s.withDefaults()
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
 // Validate checks a spec (after defaulting).
 func (s Spec) Validate() error {
 	if s.Devices < 1 {
@@ -258,6 +270,8 @@ func cyclesFor(s Spec, d device) []workload.Cycle {
 }
 
 // parseDur parses a human duration ("30s", "6h") into sim time.
+// Durations whose picosecond representation overflows int64 (~106 days)
+// are rejected rather than silently wrapped.
 func parseDur(v string) (sim.Duration, error) {
 	if v == "" {
 		return 0, nil
@@ -266,5 +280,10 @@ func parseDur(v string) (sim.Duration, error) {
 	if err != nil {
 		return 0, fmt.Errorf("fleet: %w", err)
 	}
-	return sim.Duration(td.Nanoseconds()) * sim.Nanosecond, nil
+	ns := td.Nanoseconds()
+	const maxNS = math.MaxInt64 / int64(sim.Nanosecond)
+	if ns > maxNS || ns < -maxNS {
+		return 0, fmt.Errorf("fleet: %v overflows simulated time (limit ~106 days)", td)
+	}
+	return sim.Duration(ns) * sim.Nanosecond, nil
 }

@@ -1,11 +1,14 @@
 package fleet
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"odrips/internal/platform"
@@ -342,5 +345,135 @@ func TestFleetAcceptanceScale(t *testing.T) {
 	}
 	if rep.Aggregates.TotalDeviceCycles != 719*10000 {
 		t.Errorf("total device-cycles %d; want 7,190,000 (719 per device)", rep.Aggregates.TotalDeviceCycles)
+	}
+}
+
+// TestFleetProgress pins the serving-side progress contract: counters
+// are monotone while the run executes, and at completion every total is
+// accounted for, per shard and overall.
+func TestFleetProgress(t *testing.T) {
+	s := mixedSpec()
+	prog := NewProgress()
+	if st := prog.Stats(); st.Started {
+		t.Fatal("progress started before the run")
+	}
+
+	// A polling reader races the run, checking monotonicity of every
+	// counter across snapshots (the stream the server sends clients).
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var violations atomic.Int32
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var last ProgressStats
+		for {
+			st := prog.Stats()
+			if st.DevicesDone < last.DevicesDone || st.CyclesDone < last.CyclesDone ||
+				st.RunsDone < last.RunsDone || st.WarmRunsDone < last.WarmRunsDone {
+				violations.Add(1)
+			}
+			for i := range st.Shards {
+				if i < len(last.Shards) && st.Shards[i].CyclesDone < last.Shards[i].CyclesDone {
+					violations.Add(1)
+				}
+			}
+			last = st
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+
+	rep, err := RunWithProgress(context.Background(), s, nil, prog)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violations.Load() > 0 {
+		t.Errorf("%d non-monotone progress snapshots", violations.Load())
+	}
+
+	st := prog.Stats()
+	if !st.Started {
+		t.Fatal("progress never started")
+	}
+	if st.DevicesDone != st.Devices || st.Devices != s.Devices {
+		t.Errorf("devices %d/%d (spec %d)", st.DevicesDone, st.Devices, s.Devices)
+	}
+	if st.CyclesDone != st.CyclesTotal || st.CyclesTotal != rep.Aggregates.TotalDeviceCycles {
+		t.Errorf("cycles %d/%d (report %d)", st.CyclesDone, st.CyclesTotal, rep.Aggregates.TotalDeviceCycles)
+	}
+	if st.RunsDone != st.Runs || st.Runs != rep.Memo.RunClasses {
+		t.Errorf("runs %d/%d (report %d classes)", st.RunsDone, st.Runs, rep.Memo.RunClasses)
+	}
+	if st.WarmRunsDone != st.WarmRuns || st.WarmRuns != rep.Memo.MemoClasses {
+		t.Errorf("warm runs %d/%d (report %d classes)", st.WarmRunsDone, st.WarmRuns, rep.Memo.MemoClasses)
+	}
+	if len(st.Shards) != s.Shards {
+		t.Fatalf("%d shard rows (spec %d)", len(st.Shards), s.Shards)
+	}
+	var shardCycles, shardDevices uint64
+	for i, sh := range st.Shards {
+		if sh.CyclesDone != sh.Cycles || sh.DevicesDone != sh.Devices {
+			t.Errorf("shard %d incomplete: %d/%d cycles, %d/%d devices",
+				i, sh.CyclesDone, sh.Cycles, sh.DevicesDone, sh.Devices)
+		}
+		shardCycles += sh.Cycles
+		shardDevices += uint64(sh.Devices)
+	}
+	if shardCycles != st.CyclesTotal || shardDevices != uint64(st.Devices) {
+		t.Errorf("shard totals %d cycles / %d devices; fleet %d / %d",
+			shardCycles, shardDevices, st.CyclesTotal, st.Devices)
+	}
+}
+
+// TestFleetCancellation: a canceled context stops the run at the next
+// device-run boundary with an error that unwraps to context.Canceled,
+// and a pre-canceled context never simulates at all.
+func TestFleetCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunWithProgress(ctx, mixedSpec(), nil, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled run: %v", err)
+	}
+
+	// Cancel mid-run: trip the cancel from the progress callback of the
+	// first completed warm run, so the cancellation lands while later
+	// representatives are still pending.
+	s := mixedSpec()
+	s.Workers = 1
+	ctx, cancel = context.WithCancel(context.Background())
+	defer cancel()
+	prog := NewProgress()
+	var once sync.Once
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if prog.Stats().WarmRunsDone > 0 {
+				once.Do(cancel)
+				return
+			}
+		}
+	}()
+	_, err := RunWithProgress(ctx, s, nil, prog)
+	close(done)
+	wg.Wait()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run cancel: %v", err)
+	}
+	if st := prog.Stats(); st.DevicesDone == st.Devices && st.CyclesDone == st.CyclesTotal {
+		t.Error("run completed despite cancellation")
 	}
 }
