@@ -3,7 +3,7 @@ PKGS     := ./...
 STAMP    := $(shell date -u +%Y%m%dT%H%M%SZ)
 FUZZTIME ?= 60s
 
-.PHONY: all build test vet lint lint-fixtures race verify fleet-smoke server-smoke fuzz bench bench-smoke bench-sweep bench-baseline-1x bench-gate bench-warm benchdiff profile profile-diff clean
+.PHONY: all build test vet lint lint-fixtures race verify fleet-smoke server-smoke fuzz bench bench-smoke bench-sweep bench-baseline-1x bench-gate bench-warm memo-compact benchdiff profile profile-diff clean
 
 all: build test
 
@@ -55,25 +55,31 @@ fleet-smoke:
 	@rm -rf $(FLEETDIR)
 	@echo fleet-smoke OK
 
-# Server smoke tier: build odrips-server and odrips-loadgen, bring the
-# server up on an ephemeral port, replay SERVER_SMOKE_JOBS bursty
-# submissions (zero drops, monotone progress, per-class byte-identical
-# aggregates — loadgen exits nonzero on any violation), then SIGTERM
-# the server and require a clean drain (exit 0). Run by CI on every
-# push.
+# Server smoke tier: build odrips-server and odrips-loadgen, bring TWO
+# servers up on ephemeral ports over one shared persistent memo store,
+# replay SERVER_SMOKE_JOBS bursty submissions round-robined across both
+# (zero drops, monotone progress, per-class byte-identical aggregates
+# regardless of which server ran the job — loadgen exits nonzero on any
+# violation), then SIGTERM both and require clean drains (exit 0). The
+# shared store exercises the cross-process claim protocol under real
+# process isolation. Run by CI on every push.
 SMOKEDIR          := $(CURDIR)/.odrips-server-smoke
 SERVER_SMOKE_JOBS ?= 200
 server-smoke:
-	rm -rf $(SMOKEDIR) && mkdir -p $(SMOKEDIR)
+	rm -rf $(SMOKEDIR) && mkdir -p $(SMOKEDIR)/store
 	$(GO) build -o $(SMOKEDIR)/ ./cmd/odrips-server ./cmd/odrips-loadgen
-	$(SMOKEDIR)/odrips-server -addr 127.0.0.1:0 -workers 4 > $(SMOKEDIR)/server.log 2>&1 & \
-	pid=$$!; \
-	for i in $$(seq 1 100); do grep -q 'listening on' $(SMOKEDIR)/server.log 2>/dev/null && break; sleep 0.1; done; \
-	addr=$$(sed -n 's/.*listening on //p' $(SMOKEDIR)/server.log | head -1); \
-	if [ -z "$$addr" ]; then echo "server-smoke: server never came up"; cat $(SMOKEDIR)/server.log; kill $$pid 2>/dev/null; exit 1; fi; \
-	$(SMOKEDIR)/odrips-loadgen -addr "http://$$addr" -jobs $(SERVER_SMOKE_JOBS) -burst -concurrency 32 || { kill $$pid 2>/dev/null; exit 1; }; \
-	kill -TERM $$pid; \
-	wait $$pid || { echo "server-smoke: server exited nonzero after SIGTERM"; cat $(SMOKEDIR)/server.log; exit 1; }
+	$(SMOKEDIR)/odrips-server -addr 127.0.0.1:0 -workers 4 -memocache rw -memocachedir $(SMOKEDIR)/store > $(SMOKEDIR)/server1.log 2>&1 & \
+	pid1=$$!; \
+	$(SMOKEDIR)/odrips-server -addr 127.0.0.1:0 -workers 4 -memocache rw -memocachedir $(SMOKEDIR)/store > $(SMOKEDIR)/server2.log 2>&1 & \
+	pid2=$$!; \
+	for i in $$(seq 1 100); do grep -q 'listening on' $(SMOKEDIR)/server1.log 2>/dev/null && grep -q 'listening on' $(SMOKEDIR)/server2.log 2>/dev/null && break; sleep 0.1; done; \
+	addr1=$$(sed -n 's/.*listening on //p' $(SMOKEDIR)/server1.log | head -1); \
+	addr2=$$(sed -n 's/.*listening on //p' $(SMOKEDIR)/server2.log | head -1); \
+	if [ -z "$$addr1" ] || [ -z "$$addr2" ]; then echo "server-smoke: a server never came up"; cat $(SMOKEDIR)/server1.log $(SMOKEDIR)/server2.log; kill $$pid1 $$pid2 2>/dev/null; exit 1; fi; \
+	$(SMOKEDIR)/odrips-loadgen -addr "http://$$addr1,http://$$addr2" -jobs $(SERVER_SMOKE_JOBS) -burst -concurrency 32 || { kill $$pid1 $$pid2 2>/dev/null; exit 1; }; \
+	kill -TERM $$pid1 $$pid2; \
+	wait $$pid1 || { echo "server-smoke: server 1 exited nonzero after SIGTERM"; cat $(SMOKEDIR)/server1.log; kill $$pid2 2>/dev/null; exit 1; }; \
+	wait $$pid2 || { echo "server-smoke: server 2 exited nonzero after SIGTERM"; cat $(SMOKEDIR)/server2.log; exit 1; }
 	@rm -rf $(SMOKEDIR)
 	@echo server-smoke OK
 
@@ -88,6 +94,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzUnpackBootImage$$' -fuzztime $(FUZZTIME) ./internal/ctxstore
 	$(GO) test -run '^$$' -fuzz '^FuzzFaultPlan$$' -fuzztime $(FUZZTIME) ./internal/faults
 	$(GO) test -run '^$$' -fuzz '^FuzzMemoStoreLoad$$' -fuzztime $(FUZZTIME) ./internal/memostore
+	$(GO) test -run '^$$' -fuzz '^FuzzPackLoad$$' -fuzztime $(FUZZTIME) ./internal/memostore
 	$(GO) test -run '^$$' -fuzz '^FuzzJobSpec$$' -fuzztime $(FUZZTIME) ./internal/fleet
 
 # Record the full benchmark suite (with allocation stats) to a timestamped
@@ -154,6 +161,14 @@ bench-warm:
 	GOMAXPROCS=$(GATEPROCS) ODRIPS_MEMOCACHE=rw ODRIPS_MEMOCACHE_DIR=$(MEMODIR) $(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -json $(PKGS) > BENCH_warm.json.tmp || { rm -f BENCH_warm.json.tmp BENCH_cold.json.tmp; exit 1; }
 	$(GO) run ./cmd/odrips-benchdiff -ns-tolerance 1e9 -ns-floor 1e18 -allocs-slack 1e9 -allocs-floor 1e18 $(BENCHDIFF_FLAGS) BENCH_cold.json.tmp BENCH_warm.json.tmp
 	@rm -f BENCH_cold.json.tmp BENCH_warm.json.tmp
+
+# Compact the local persistent memo store: fold loose *.memo entries
+# into a single checksummed pack segment (and drop corrupt leftovers),
+# so the next warm run opens one file instead of thousands. Safe while
+# other processes read the store — the new segment lands before any
+# loose file is unlinked.
+memo-compact:
+	$(GO) run ./cmd/odrips-bench -exp none -memocompact -memocache rw -memocachedir $(MEMODIR)
 
 # CPU and allocation profiles of a six-hour ODRIPS standby run; inspect
 # with `go tool pprof cpu.pprof`. FF=off profiles the full simulation path,

@@ -39,7 +39,7 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "http://127.0.0.1:8080", "odrips-server base URL")
+	addr := flag.String("addr", "http://127.0.0.1:8080", "odrips-server base URL, or a comma-separated list to spread jobs round-robin over several servers (each job is watched on the server that accepted it; servers sharing one -memocachedir store must still agree on every class digest)")
 	jobs := flag.Int("jobs", 200, "total submissions")
 	conc := flag.Int("concurrency", 16, "concurrent submitter/watcher goroutines")
 	classes := flag.Int("classes", 3, "distinct spec classes cycled over the jobs")
@@ -57,46 +57,57 @@ func main() {
 	defer cancel()
 
 	lg := &loadgen{
-		base:    strings.TrimSuffix(*addr, "/"),
 		client:  &http.Client{},
 		classes: make([]string, *classes),
+	}
+	for _, a := range strings.Split(*addr, ",") {
+		if a = strings.TrimSuffix(strings.TrimSpace(a), "/"); a != "" {
+			lg.bases = append(lg.bases, a)
+		}
+	}
+	if len(lg.bases) == 0 {
+		fmt.Fprintln(os.Stderr, "odrips-loadgen: -addr lists no server")
+		os.Exit(2)
 	}
 	for k := range lg.classes {
 		lg.classes[k] = classSpec(k, *devices, *horizon)
 	}
 
-	// Probe before unleashing the fleet of submitters.
-	if err := lg.health(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "odrips-loadgen: server not reachable: %v\n", err)
-		os.Exit(2)
+	// Probe every server before unleashing the fleet of submitters.
+	for _, base := range lg.bases {
+		if err := lg.health(ctx, base); err != nil {
+			fmt.Fprintf(os.Stderr, "odrips-loadgen: server %s not reachable: %v\n", base, err)
+			os.Exit(2)
+		}
 	}
 
 	start := time.Now()
 	if *burst {
 		ids := lg.fanOut(ctx, *jobs, *conc, func(ctx context.Context, i int) (string, error) {
-			return lg.submit(ctx, i%len(lg.classes))
+			return lg.submit(ctx, lg.baseFor(i), i%len(lg.classes))
 		})
 		lg.fanOut(ctx, *jobs, *conc, func(ctx context.Context, i int) (string, error) {
 			if ids[i] == "" {
 				return "", nil // its submission already failed and was recorded
 			}
-			return "", lg.watch(ctx, ids[i], i%len(lg.classes))
+			return "", lg.watch(ctx, lg.baseFor(i), ids[i], i%len(lg.classes))
 		})
 	} else {
 		lg.fanOut(ctx, *jobs, *conc, func(ctx context.Context, i int) (string, error) {
-			id, err := lg.submit(ctx, i%len(lg.classes))
+			base := lg.baseFor(i)
+			id, err := lg.submit(ctx, base, i%len(lg.classes))
 			if err != nil {
 				return "", err
 			}
-			return id, lg.watch(ctx, id, i%len(lg.classes))
+			return id, lg.watch(ctx, base, id, i%len(lg.classes))
 		})
 	}
 	elapsed := time.Since(start)
 
 	lg.mu.Lock()
 	defer lg.mu.Unlock()
-	fmt.Printf("odrips-loadgen: %d jobs, %d done, %d queue_full retries, %d classes, %.1fs\n",
-		*jobs, lg.done, lg.retries, len(lg.classes), elapsed.Seconds())
+	fmt.Printf("odrips-loadgen: %d jobs, %d done, %d queue_full retries, %d classes, %d servers, %.1fs\n",
+		*jobs, lg.done, lg.retries, len(lg.classes), len(lg.bases), elapsed.Seconds())
 	digests := make([]string, 0, len(lg.digest))
 	for k, d := range lg.digest {
 		digests = append(digests, fmt.Sprintf("class %d aggregates sha256 %s", k, d))
@@ -127,7 +138,7 @@ func classSpec(k, devices int, horizon string) string {
 }
 
 type loadgen struct {
-	base    string
+	bases   []string
 	client  *http.Client
 	classes []string
 
@@ -137,6 +148,12 @@ type loadgen struct {
 	digest     map[int]string // class → aggregates sha256
 	violations []string
 }
+
+// baseFor pins job i to one server: the job is submitted to and watched
+// on the same base (its results live in that server's queue), while the
+// i%len spread round-robins the load — and, with servers sharing one
+// memo store, exercises the cross-process claim protocol.
+func (lg *loadgen) baseFor(i int) string { return lg.bases[i%len(lg.bases)] }
 
 func (lg *loadgen) violate(format string, args ...any) {
 	lg.mu.Lock()
@@ -172,8 +189,8 @@ func (lg *loadgen) fanOut(ctx context.Context, jobs, conc int, fn func(context.C
 	return out
 }
 
-func (lg *loadgen) health(ctx context.Context) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, lg.base+"/healthz", nil)
+func (lg *loadgen) health(ctx context.Context, base string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
 	if err != nil {
 		return err
 	}
@@ -190,11 +207,11 @@ func (lg *loadgen) health(ctx context.Context) error {
 
 // submit posts one job of the class, retrying queue_full with backoff
 // until the deadline. Any other non-202 answer is a violation.
-func (lg *loadgen) submit(ctx context.Context, class int) (string, error) {
+func (lg *loadgen) submit(ctx context.Context, base string, class int) (string, error) {
 	backoff := 5 * time.Millisecond
 	for {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-			lg.base+"/v1/jobs", strings.NewReader(lg.classes[class]))
+			base+"/v1/jobs", strings.NewReader(lg.classes[class]))
 		if err != nil {
 			return "", err
 		}
@@ -246,9 +263,9 @@ type progressCounters struct {
 
 // watch streams the job's results, asserting framing, monotone
 // progress, terminal done state, and the class's aggregates digest.
-func (lg *loadgen) watch(ctx context.Context, id string, class int) error {
+func (lg *loadgen) watch(ctx context.Context, base, id string, class int) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		lg.base+"/v1/jobs/"+id+"/results", nil)
+		base+"/v1/jobs/"+id+"/results", nil)
 	if err != nil {
 		return err
 	}

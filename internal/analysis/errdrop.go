@@ -18,12 +18,13 @@ import (
 //   - assignments that bind an error result of a fail-safe loader to `_`;
 //   - bare expression statements that call one and drop every result.
 //
-// Fail-safe loaders are: Load* methods on odrips/internal/memostore.Store,
-// Parse in odrips/internal/faults, and any function whose name starts with
-// "ffDecode" and returns an error (the platform bundle codec convention).
+// Fail-safe loaders are: Load*, Claim, and AwaitClaimed methods on
+// odrips/internal/memostore.Store, Parse in odrips/internal/faults, and
+// any function whose name starts with "ffDecode" and returns an error
+// (the platform bundle codec convention).
 var errdropAnalyzer = &Analyzer{
 	Name: "errdrop",
-	Doc:  "errors from fail-safe load paths (memostore Load*, faults.Parse, ffDecode*) must be handled, not blanked",
+	Doc:  "errors from fail-safe load paths (memostore Load*/Claim/AwaitClaimed, faults.Parse, ffDecode*) must be handled, not blanked",
 	Run:  runErrdrop,
 }
 
@@ -100,7 +101,12 @@ func failSafeLoader(pass *Pass, call *ast.CallExpr) (string, int) {
 
 	pkgPath := fn.Pkg().Path()
 	switch {
-	case pkgPath == "odrips/internal/memostore" && strings.HasPrefix(fn.Name(), "Load"):
+	case pkgPath == "odrips/internal/memostore" &&
+		(strings.HasPrefix(fn.Name(), "Load") || fn.Name() == "Claim" || fn.Name() == "AwaitClaimed"):
+		// Load* covers LoadPacked and LoadOrCompute; Claim and
+		// AwaitClaimed are coordination, but a blanked error there turns
+		// "compute uncoordinated" into "assume someone else computes" —
+		// a hang, not a graceful miss.
 		if recv := sig.Recv(); recv != nil && recvNamed(recv.Type(), "odrips/internal/memostore", "Store") {
 			return "memostore.Store." + fn.Name(), errIdx
 		}

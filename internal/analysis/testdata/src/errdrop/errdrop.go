@@ -4,6 +4,7 @@
 package errdrop
 
 import (
+	"context"
 	"errors"
 
 	"odrips/internal/faults"
@@ -32,6 +33,35 @@ func BadDropped(s *memostore.Store, key []byte) {
 	s.Load("cycles", key) // want errdrop
 	faults.Parse("mee@2") // want errdrop
 	ffDecodeWire(key)     // want errdrop
+}
+
+// BadPackedAndClaims covers the pack/claim surface: a blanked Claim
+// error silently downgrades "compute uncoordinated" into "assume another
+// process computes" — a potential hang, not a graceful miss.
+func BadPackedAndClaims(s *memostore.Store, key []byte) []byte {
+	payload, ok, _ := s.LoadPacked("cycles", key) // want errdrop
+	_ = ok
+	c, _ := s.Claim("cycles", key) // want errdrop
+	if c != nil {
+		c.Release()
+	}
+	p2, _ := s.LoadOrCompute("cycles", key, func() ([]byte, error) { return nil, nil }) // want errdrop
+	_ = p2
+	p3, ok, _ := s.AwaitClaimed(context.Background(), "cycles", key) // want errdrop
+	_, _ = p3, ok
+	return payload
+}
+
+// GoodClaims handles the coordination errors explicitly.
+func GoodClaims(s *memostore.Store, key []byte) error {
+	c, err := s.Claim("cycles", key)
+	if err != nil {
+		return err // claim unavailable: compute uncoordinated
+	}
+	if c != nil {
+		defer c.Release()
+	}
+	return nil
 }
 
 // Good handles the error explicitly, treating a typed miss as a cold

@@ -215,14 +215,6 @@ func pointDiskLoad(class string, key []byte) (uint64, bool) {
 	return binary.LittleEndian.Uint64(payload), true
 }
 
-// pointDiskSave persists one 8-byte point (no-op unless the default
-// store is writable).
-func pointDiskSave(class string, key []byte, v uint64) {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], v)
-	memostore.Default().Save(class, key, b[:])
-}
-
 // pointDiskVerify diffs a freshly computed point against the stored bits
 // in -memocache=verify mode.
 func pointDiskVerify(class string, key []byte, got uint64) error {
@@ -234,6 +226,45 @@ func pointDiskVerify(class string, key []byte, got uint64) error {
 		return fmt.Errorf("experiments: memocache verify: %s point diverged from persistent memo (stored %#x, computed %#x)", class, stored, got)
 	}
 	return nil
+}
+
+// pointMemo funnels one 8-byte point through the persistent store's
+// load-miss→compute→save pipeline with in-process single-flight dedup
+// (memostore.Store.LoadOrCompute): N sweep workers hitting the same cold
+// point simulate it once and share the leader's bits — byte-identical to
+// each recomputing, since points are deterministic. Verify mode is
+// honored inside the pipeline: the load is skipped and the fresh bits
+// are diffed against the stored ones by pointDiskVerify. With no store
+// installed this degrades to a plain simulate call.
+func pointMemo(class string, diskKey []byte, simulate func() (uint64, error)) (uint64, error) {
+	payload, err := memostore.Default().LoadOrCompute(class, diskKey, func() ([]byte, error) {
+		bits, serr := simulate()
+		if serr != nil {
+			return nil, serr
+		}
+		if verr := pointDiskVerify(class, diskKey, bits); verr != nil {
+			return nil, verr
+		}
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], bits)
+		return b[:], nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if len(payload) == 8 {
+		return binary.LittleEndian.Uint64(payload), nil
+	}
+	// A stored payload of the wrong shape is a miss by the point-memo
+	// contract (pointDiskLoad's size check); re-simulate directly.
+	bits, err := simulate()
+	if err != nil {
+		return 0, err
+	}
+	if err := pointDiskVerify(class, diskKey, bits); err != nil {
+		return 0, err
+	}
+	return bits, nil
 }
 
 // sweepAverage measures the average power of the idle cycle — entry, idle
@@ -249,35 +280,30 @@ func sweepAverage(cfg platform.Config, residency sim.Duration, cycles int) (floa
 		return v, nil
 	}
 	diskKey := pointDiskKey(key.cfg, residency, cycles)
-	if memostore.Default().Mode() != memostore.Verify {
-		if bits, ok := pointDiskLoad("sweep", diskKey); ok {
-			mw := math.Float64frombits(bits)
-			eng.sweep.Put(key, mw)
-			return mw, nil
+	bits, err := pointMemo("sweep", diskKey, func() (uint64, error) {
+		cfg.ForceDeepest = true
+		p, err := platform.New(cfg)
+		if err != nil {
+			return 0, err
 		}
-	}
-	cfg.ForceDeepest = true
-	p, err := platform.New(cfg)
+		res, err := p.RunCycles(workload.Fixed(cycles, 2*sim.Millisecond, residency))
+		if err != nil {
+			return 0, err
+		}
+		var energyJ, seconds float64
+		for _, st := range []power.State{power.Entry, power.Idle, power.Exit} {
+			energyJ += res.StateEnergyJ[st]
+			seconds += res.Residency[st] * res.Duration.Seconds()
+		}
+		if seconds <= 0 {
+			return 0, fmt.Errorf("sweep: no idle-cycle time at %v", residency)
+		}
+		return math.Float64bits(energyJ * 1e3 / seconds), nil
+	})
 	if err != nil {
 		return 0, err
 	}
-	res, err := p.RunCycles(workload.Fixed(cycles, 2*sim.Millisecond, residency))
-	if err != nil {
-		return 0, err
-	}
-	var energyJ, seconds float64
-	for _, st := range []power.State{power.Entry, power.Idle, power.Exit} {
-		energyJ += res.StateEnergyJ[st]
-		seconds += res.Residency[st] * res.Duration.Seconds()
-	}
-	if seconds <= 0 {
-		return 0, fmt.Errorf("sweep: no idle-cycle time at %v", residency)
-	}
-	mw := energyJ * 1e3 / seconds
-	if err := pointDiskVerify("sweep", diskKey, math.Float64bits(mw)); err != nil {
-		return 0, err
-	}
-	pointDiskSave("sweep", diskKey, math.Float64bits(mw))
+	mw := math.Float64frombits(bits)
 	eng.sweep.Put(key, mw)
 	return mw, nil
 }
@@ -290,28 +316,23 @@ func transitionTime(cfg platform.Config) (sim.Duration, error) {
 		return v, nil
 	}
 	diskKey := pointDiskKey(key, 0, 0)
-	if memostore.Default().Mode() != memostore.Verify {
-		if bits, ok := pointDiskLoad("trans", diskKey); ok {
-			d := sim.Duration(int64(bits))
-			eng.trans.Put(key, d)
-			return d, nil
+	bits, err := pointMemo("trans", diskKey, func() (uint64, error) {
+		forced := cfg
+		forced.ForceDeepest = true
+		p, err := platform.New(forced)
+		if err != nil {
+			return 0, err
 		}
-	}
-	forced := cfg
-	forced.ForceDeepest = true
-	p, err := platform.New(forced)
+		res, err := p.RunCycles(workload.Fixed(1, 2*sim.Millisecond, 20*sim.Millisecond))
+		if err != nil {
+			return 0, err
+		}
+		return uint64(int64(res.EntryAvg + res.ExitAvg)), nil
+	})
 	if err != nil {
 		return 0, err
 	}
-	res, err := p.RunCycles(workload.Fixed(1, 2*sim.Millisecond, 20*sim.Millisecond))
-	if err != nil {
-		return 0, err
-	}
-	d := res.EntryAvg + res.ExitAvg
-	if err := pointDiskVerify("trans", diskKey, uint64(int64(d))); err != nil {
-		return 0, err
-	}
-	pointDiskSave("trans", diskKey, uint64(int64(d)))
+	d := sim.Duration(int64(bits))
 	eng.trans.Put(key, d)
 	return d, nil
 }

@@ -70,8 +70,12 @@ func runDevice(s Spec, d device, attach func(*platform.Platform)) (runOutcome, e
 // ctx's error (wrapped; errors.Is(err, ctx.Err()) holds) after in-flight
 // points drain. onDone, when non-nil, observes each completed
 // representative from its worker goroutine (it must be concurrency-safe;
-// the Progress counters are).
-func runReps(ctx context.Context, s Spec, reps []classRep, attach func(*platform.Platform), onDone func(classRep)) ([]runOutcome, error) {
+// the Progress counters are). warm, when non-nil, routes each run
+// through plane.WarmClass keyed by the representative's class, so a
+// cold class is discovered once per process (single-flight) and once
+// fleet-wide (store claims) — phase 1 passes the live plane here, phase
+// 2 runs uncoordinated against the frozen snapshot.
+func runReps(ctx context.Context, s Spec, reps []classRep, attach func(*platform.Platform), warm *platform.MemoPlane, onDone func(classRep)) ([]runOutcome, error) {
 	points := make([]experiments.PointSpec[runOutcome], len(reps))
 	for i := range reps {
 		rep := reps[i]
@@ -82,7 +86,18 @@ func runReps(ctx context.Context, s Spec, reps []classRep, attach func(*platform
 				if err := ctx.Err(); err != nil {
 					return runOutcome{}, fmt.Errorf("fleet: canceled before device %d: %w", d.index, err)
 				}
-				out, err := runDevice(s, d, attach)
+				var out runOutcome
+				run := func() error {
+					var rerr error
+					out, rerr = runDevice(s, d, attach)
+					return rerr
+				}
+				var err error
+				if warm != nil {
+					err = warm.WarmClass(ctx, rep.key, run)
+				} else {
+					err = run()
+				}
 				if err == nil && onDone != nil {
 					onDone(rep)
 				}
@@ -147,7 +162,7 @@ func RunWithProgress(ctx context.Context, s Spec, plane *platform.MemoPlane, pro
 	// are disjoint, so publication interleaving cannot influence the
 	// plane's content. The phase-1 outcomes are measurement too: they are
 	// the cost the fleet actually paid, reported as warming work.
-	warm, err := runReps(ctx, s, memoReps, plane.Attach, func(classRep) { prog.warmRunDone() })
+	warm, err := runReps(ctx, s, memoReps, plane.Attach, plane, func(classRep) { prog.warmRunDone() })
 	if err != nil {
 		return nil, err
 	}
@@ -156,7 +171,7 @@ func RunWithProgress(ctx context.Context, s Spec, plane *platform.MemoPlane, pro
 	// class outcome — result and replay statistics — is a pure function
 	// of (spec, snapshot), independent of scheduling.
 	snap := plane.Snapshot()
-	outcomes, err := runReps(ctx, s, runReps_, snap.Attach, func(r classRep) { prog.runClassDone(r.key) })
+	outcomes, err := runReps(ctx, s, runReps_, snap.Attach, nil, func(r classRep) { prog.runClassDone(r.key) })
 	if err != nil {
 		return nil, err
 	}

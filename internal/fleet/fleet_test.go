@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"odrips/internal/memostore"
 	"odrips/internal/platform"
 	"odrips/internal/sim"
 )
@@ -243,6 +244,139 @@ func TestFleetLoadHarness(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+}
+
+// fleetStore opens one RW store handle over dir, emulating a process in
+// the multi-process tests (claims, entries, and packs are file-based).
+func fleetStore(t *testing.T, dir string) *memostore.Store {
+	t.Helper()
+	s, err := memostore.Open(dir, memostore.RW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestFleetSecondProcessRecomputesNothing is the sequential half of the
+// cross-process contract: a second process over an already-warmed shared
+// store serves every memo class from disk — zero claims, zero writes —
+// and reports byte-identical aggregates.
+func TestFleetSecondProcessRecomputesNothing(t *testing.T) {
+	s := mixedSpec()
+	ref, err := Run(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refAgg := mustAggJSON(t, ref)
+
+	dir := t.TempDir()
+	storeA := fleetStore(t, dir)
+	repA, err := Run(s, platform.NewMemoPlane(storeA, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mustAggJSON(t, repA) != refAgg {
+		t.Error("process A aggregates diverged from the plane-less run")
+	}
+	stA := storeA.Stats()
+	if stA.Writes == 0 || stA.ClaimsOwned == 0 {
+		t.Fatalf("cold process stats %+v: want writes and owned claims", stA)
+	}
+
+	storeB := fleetStore(t, dir)
+	repB, err := Run(s, platform.NewMemoPlane(storeB, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mustAggJSON(t, repB) != refAgg {
+		t.Error("process B aggregates diverged")
+	}
+	stB := storeB.Stats()
+	if stB.Writes != 0 || stB.ClaimsOwned != 0 {
+		t.Fatalf("warm process re-did cold work: %+v", stB)
+	}
+	if stB.Hits == 0 {
+		t.Fatalf("warm process never read the shared store: %+v", stB)
+	}
+
+	// Packing the store changes the byte layout, not the outcome: a third
+	// process over the compacted store behaves exactly like B, now served
+	// from the segment index.
+	if cs, cerr := storeA.Compact(); cerr != nil || cs.LooseRemoved == 0 {
+		t.Fatalf("compact: %+v %v", cs, cerr)
+	}
+	storeC := fleetStore(t, dir)
+	repC, err := Run(s, platform.NewMemoPlane(storeC, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mustAggJSON(t, repC) != refAgg {
+		t.Error("packed-store process aggregates diverged")
+	}
+	stC := storeC.Stats()
+	if stC.Writes != 0 || stC.ClaimsOwned != 0 || stC.PackHits == 0 {
+		t.Fatalf("packed-store process stats %+v: want pure pack hits", stC)
+	}
+}
+
+// TestFleetTwoProcessesShareColdStart races two "processes" (two store
+// handles, two planes) through the same cold spec over one shared store
+// directory, under -race in the tier-1 suite. The claim protocol
+// guarantees each memo class's discovery is claimed at least once and at
+// most once per process — never left unclaimed, never computed by a
+// process that successfully awaited — and results are byte-identical
+// either way.
+func TestFleetTwoProcessesShareColdStart(t *testing.T) {
+	s := mixedSpec()
+	ref, err := Run(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refAgg := mustAggJSON(t, ref)
+
+	dir := t.TempDir()
+	stores := []*memostore.Store{fleetStore(t, dir), fleetStore(t, dir)}
+	reps := make([]*Report, len(stores))
+	var wg sync.WaitGroup
+	for i := range stores {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rep, err := Run(s, platform.NewMemoPlane(stores[i], 0))
+			if err != nil {
+				t.Errorf("process %d: %v", i, err)
+				return
+			}
+			reps[i] = rep
+		}()
+	}
+	wg.Wait()
+	for i, rep := range reps {
+		if rep == nil {
+			continue
+		}
+		if mustAggJSON(t, rep) != refAgg {
+			t.Errorf("process %d aggregates diverged from the plane-less run", i)
+		}
+	}
+
+	classes := uint64(ref.Memo.MemoClasses)
+	var owned, takeovers uint64
+	for _, st := range stores {
+		stats := st.Stats()
+		owned += stats.ClaimsOwned
+		takeovers += stats.ClaimTakeovers
+	}
+	// Every cold class is claimed by its first toucher; a class can be
+	// claimed by both processes only in the benign release/re-claim
+	// window, never more than once per process (the loser of a live race
+	// awaits and adopts instead).
+	if owned < classes || owned > 2*classes {
+		t.Errorf("claims owned fleet-wide = %d, want within [%d, %d]", owned, classes, 2*classes)
+	}
+	if takeovers != 0 {
+		t.Errorf("%d stale takeovers during a live run", takeovers)
 	}
 }
 

@@ -1,0 +1,438 @@
+package memostore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file is the pack-segment layer (DESIGN.md §17): loose one-file
+// entries compacted into append-only, content-addressed, checksummed
+// segments with an in-memory index. The loose path pays an open + read +
+// header decode per lookup — thousands of syscalls for a warm fleet or a
+// freshly started server — while a segment is read and verified once per
+// open and every subsequent load is a map probe over zero-copy payload
+// slices.
+//
+// Soundness is the same contract as loose entries, enforced at segment
+// granularity: the header carries the schema version and build
+// fingerprint (wholesale invalidation — a foreign segment is skew, i.e. a
+// silent miss), a trailing SHA-256 over the whole file catches any
+// corruption (a typed *CorruptError miss), and every entry's full key
+// hash is the index key, so a truncated-filename collision cannot
+// produce a false hit. A segment that fails any check contributes no
+// entries; readers fall back to loose files and recompute — the exact
+// cold-path behavior.
+//
+// Pack segment layout (little-endian, fixed order):
+//
+//	magic        [8]byte  "ODRPACK1"
+//	schema       uint32   SchemaVersion
+//	buildFP      [32]byte SHA-256 of the running executable
+//	count        uint32
+//	count × {
+//	  classLen   uint16
+//	  class      [classLen]byte
+//	  keyHash    [32]byte SHA-256 of the logical key
+//	  payloadLen uint32
+//	  payload    [payloadLen]byte
+//	}
+//	fileSum      [32]byte SHA-256 of all preceding bytes
+const (
+	packMagic      = "ODRPACK1"
+	packHeaderLen  = len(packMagic) + 4 + 32 + 4
+	packTrailerLen = 32
+
+	// packEntryMin is the smallest possible encoded entry; it bounds the
+	// count field against the remaining bytes so a corrupt count cannot
+	// drive a huge allocation.
+	packEntryMin   = 2 + 32 + 4
+	maxPackEntries = 1 << 24
+)
+
+// packKey identifies one logical entry in the segment index: the class
+// plus the full (untruncated) key hash.
+type packKey struct {
+	class string
+	kh    [32]byte
+}
+
+// packEntryView is one decoded entry; payload aliases the segment buffer
+// (zero-copy) and must be treated as read-only.
+type packEntryView struct {
+	class   string
+	kh      [32]byte
+	payload []byte
+}
+
+// packSegment is one accepted segment's metadata.
+type packSegment struct {
+	name string
+	size int64
+}
+
+// packIndex is the immutable in-memory view of every accepted pack
+// segment, built once per open (and swapped wholesale by Compact).
+type packIndex struct {
+	entries  map[packKey][]byte // zero-copy payload slices into segment buffers
+	segments []packSegment      // accepted segments, lexicographic name order
+	shadowed map[string]bool    // loose basenames the packed entries would occupy
+	bytes    int64              // in-memory bytes pinned by the index (segment buffers)
+
+	// damaged remembers the first corrupt segment so misses can carry the
+	// diagnostic — the same fail-safe *CorruptError-miss contract as a
+	// corrupt loose entry.
+	damaged *CorruptError
+}
+
+// get probes the index; a nil index never hits.
+func (p *packIndex) get(class string, kh [32]byte) ([]byte, bool) {
+	if p == nil || len(p.entries) == 0 {
+		return nil, false
+	}
+	payload, ok := p.entries[packKey{class: class, kh: kh}]
+	return payload, ok
+}
+
+// looseName is the basename EntryPath uses for (class, keyHash).
+func looseName(class string, kh [32]byte) string {
+	return fmt.Sprintf("%s-%x.memo", class, kh[:16])
+}
+
+// classOfLooseName recovers the class from a loose entry's basename and
+// cross-checks it against the entry's own key hash. A renamed or foreign
+// file fails the check and is not Compact's to fold.
+func classOfLooseName(name string, kh [32]byte) (string, bool) {
+	base := strings.TrimSuffix(name, ".memo")
+	suffix := fmt.Sprintf("-%x", kh[:16])
+	if !strings.HasSuffix(base, suffix) || len(base) == len(suffix) {
+		return "", false
+	}
+	return base[:len(base)-len(suffix)], true
+}
+
+// packIndexView returns the store's segment index, loading every *.pack
+// file in the store directory exactly once per open. Compact swaps a
+// fresh index in; readers always observe a complete one.
+func (s *Store) packIndexView() *packIndex {
+	if idx := s.packs.Load(); idx != nil {
+		return idx
+	}
+	s.packOnce.Do(func() {
+		idx := s.loadPackDir()
+		// CompareAndSwap so a Compact that raced ahead of the lazy load
+		// keeps its (strictly fresher) index.
+		s.packs.CompareAndSwap(nil, idx)
+	})
+	return s.packs.Load()
+}
+
+// loadPackDir reads and verifies every segment in the store directory.
+// Unreadable, corrupt, or version-skewed segments contribute no entries
+// (counted like their loose-entry analogues); within one build,
+// duplicate keys across segments hold byte-identical payloads
+// (deterministic computes), so first-segment-wins is an arbitrary but
+// stable choice.
+func (s *Store) loadPackDir() *packIndex {
+	idx := &packIndex{entries: make(map[packKey][]byte), shadowed: make(map[string]bool)}
+	dirents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return idx
+	}
+	var names []string
+	for _, de := range dirents {
+		if de.IsDir() || filepath.Ext(de.Name()) != ".pack" {
+			continue
+		}
+		names = append(names, de.Name())
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		data, rerr := os.ReadFile(filepath.Join(s.dir, name))
+		if rerr != nil {
+			continue
+		}
+		views, v := decodePack(data, s.buildFP)
+		switch v.kind {
+		case 0:
+			for _, e := range views {
+				k := packKey{class: e.class, kh: e.kh}
+				if _, dup := idx.entries[k]; dup {
+					continue
+				}
+				idx.entries[k] = e.payload
+				idx.shadowed[looseName(e.class, e.kh)] = true
+			}
+			idx.segments = append(idx.segments, packSegment{name: name, size: int64(len(data))})
+			idx.bytes += int64(len(data))
+		case 1:
+			s.count(func(st *Stats) { st.VersionSkew++ })
+		default:
+			s.count(func(st *Stats) { st.Corrupt++ })
+			if idx.damaged == nil {
+				idx.damaged = &CorruptError{Path: filepath.Join(s.dir, name), Reason: v.reason}
+			}
+		}
+	}
+	return idx
+}
+
+// decodePack validates one raw segment against the expected build
+// fingerprint. It is total: any input yields a verdict, never a panic,
+// and entries are returned only when the magic, whole-file checksum,
+// schema, build fingerprint, and every entry bound all verified. Entry
+// payloads alias data.
+func decodePack(data []byte, buildFP [32]byte) ([]packEntryView, entryVerdict) {
+	if len(data) < packHeaderLen+packTrailerLen {
+		return nil, corrupt("short pack")
+	}
+	if string(data[:len(packMagic)]) != packMagic {
+		return nil, corrupt("bad pack magic")
+	}
+	body := data[:len(data)-packTrailerLen]
+	sum := sha256.Sum256(body)
+	if !bytes.Equal(sum[:], data[len(data)-packTrailerLen:]) {
+		return nil, corrupt("pack checksum mismatch")
+	}
+	off := len(packMagic)
+	schema := binary.LittleEndian.Uint32(data[off:])
+	off += 4
+	var gotBuild [32]byte
+	copy(gotBuild[:], data[off:])
+	off += 32
+	count := binary.LittleEndian.Uint32(data[off:])
+	off += 4
+	// Version checks come after the structural checksum so a well-formed
+	// segment from another build is skew, not corruption.
+	if schema != SchemaVersion || gotBuild != buildFP {
+		return nil, entrySkew
+	}
+	if count > maxPackEntries || int(count) > (len(body)-off)/packEntryMin {
+		return nil, corrupt("entry count exceeds segment size")
+	}
+	entries := make([]packEntryView, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if off+2 > len(body) {
+			return nil, corrupt("truncated entry header")
+		}
+		clen := int(binary.LittleEndian.Uint16(data[off:]))
+		off += 2
+		if off+clen+32+4 > len(body) {
+			return nil, corrupt("truncated entry header")
+		}
+		class := string(data[off : off+clen])
+		off += clen
+		var kh [32]byte
+		copy(kh[:], data[off:])
+		off += 32
+		plen := binary.LittleEndian.Uint32(data[off:])
+		off += 4
+		if plen > maxPayload || off+int(plen) > len(body) {
+			return nil, corrupt("entry payload overflows segment")
+		}
+		entries = append(entries, packEntryView{class: class, kh: kh, payload: data[off : off+int(plen) : off+int(plen)]})
+		off += int(plen)
+	}
+	if off != len(body) {
+		return nil, corrupt("trailing bytes after last entry")
+	}
+	return entries, entryOK
+}
+
+// encodePack renders entries (already sorted by the caller) into one
+// segment with the store's version header and whole-file checksum.
+func encodePack(buildFP [32]byte, entries []packEntryView) []byte {
+	size := packHeaderLen + packTrailerLen
+	for _, e := range entries {
+		size += 2 + len(e.class) + 32 + 4 + len(e.payload)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, packMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, SchemaVersion)
+	buf = append(buf, buildFP[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(entries)))
+	for _, e := range entries {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(e.class)))
+		buf = append(buf, e.class...)
+		buf = append(buf, e.kh[:]...)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.payload)))
+		buf = append(buf, e.payload...)
+	}
+	sum := sha256.Sum256(buf)
+	return append(buf, sum[:]...)
+}
+
+// LoadPacked is Load restricted to the pack segments: it never consults
+// loose entry files. ok reports a verified hit; a miss while a corrupt
+// segment exists carries the typed *CorruptError diagnostic (the miss
+// may be that segment's fault). The returned payload aliases the
+// in-memory segment buffer — callers must treat it as read-only.
+func (s *Store) LoadPacked(class string, key []byte) (payload []byte, ok bool, err error) {
+	if s == nil || !s.mode.Readable() {
+		return nil, false, nil
+	}
+	kh := sha256.Sum256(key)
+	idx := s.packIndexView()
+	if payload, ok := idx.get(class, kh); ok {
+		s.count(func(st *Stats) { st.Hits++; st.PackHits++ })
+		return payload, true, nil
+	}
+	s.count(func(st *Stats) { st.Misses++ })
+	if idx.damaged != nil {
+		return nil, false, idx.damaged
+	}
+	return nil, false, nil
+}
+
+// DecodePackForFuzz exposes the raw segment validator to the fuzz
+// target: it must classify arbitrary bytes without panicking and only
+// accept a segment when every check passed.
+func DecodePackForFuzz(data []byte, buildFP [32]byte) (entries int, ok bool, reason string) {
+	views, v := decodePack(data, buildFP)
+	return len(views), v.kind == 0, v.reason
+}
+
+// EncodePackForFuzz mirrors Compact's segment encoding for the fuzz
+// target's round-trip assertion.
+func EncodePackForFuzz(buildFP [32]byte, classes []string, keyHashes [][32]byte, payloads [][]byte) []byte {
+	views := make([]packEntryView, len(classes))
+	for i := range classes {
+		views[i] = packEntryView{class: classes[i], kh: keyHashes[i], payload: payloads[i]}
+	}
+	return encodePack(buildFP, views)
+}
+
+// CompactStats reports what one Compact call did.
+type CompactStats struct {
+	Entries         int    `json:"entries"`          // logical entries in the new segment
+	Segment         string `json:"segment"`          // new segment's basename ("" when there was nothing to pack)
+	SegmentBytes    int64  `json:"segment_bytes"`    // encoded size of the new segment
+	LooseMerged     int    `json:"loose_merged"`     // current-build loose entries folded in
+	SegmentsMerged  int    `json:"segments_merged"`  // prior segments folded in
+	LooseRemoved    int    `json:"loose_removed"`    // folded loose files unlinked
+	SegmentsRemoved int    `json:"segments_removed"` // folded segments unlinked
+	CorruptRemoved  int    `json:"corrupt_removed"`  // malformed loose entries deleted (already misses)
+}
+
+// Compact folds every current-build loose entry and every live segment
+// into one new content-addressed segment, swaps it into the in-memory
+// index, and only then unlinks what it folded. Readers are safe
+// throughout: a reader holding the pre-compact index either finds the
+// loose file still present or re-checks the post-swap index (Load's
+// fallback), so a compact can cost a re-probe, never a transient miss.
+// Foreign-build loose entries are left for their own build's compactor;
+// corrupt loose entries are deleted (they were already misses).
+// Idempotent: compacting a compacted store rewrites the same
+// content-addressed segment. Requires a writable store.
+//
+// Concurrent compactors in different processes race benignly: identical
+// content yields the same segment name (last rename wins with identical
+// bytes), unlink errors are ignored, and a process still holding a
+// removed segment keeps serving from its in-memory index.
+func (s *Store) Compact() (CompactStats, error) {
+	var cs CompactStats
+	if s == nil || !s.mode.Writable() {
+		return cs, fmt.Errorf("memostore: compact needs a writable store (mode %s)", s.Mode())
+	}
+	idx := s.packIndexView()
+	merged := make(map[packKey][]byte, len(idx.entries))
+	for k, p := range idx.entries {
+		merged[k] = p
+	}
+	cs.SegmentsMerged = len(idx.segments)
+
+	dirents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return cs, fmt.Errorf("memostore: compact: %v", err)
+	}
+	var fold []string
+	for _, de := range dirents {
+		if de.IsDir() || filepath.Ext(de.Name()) != ".memo" {
+			continue
+		}
+		name := de.Name()
+		path := filepath.Join(s.dir, name)
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			continue
+		}
+		kh, payload, v := decodeEntryAny(data, s.buildFP)
+		class, nameOK := classOfLooseName(name, kh)
+		switch {
+		case v.kind == 0 && nameOK && len(class) <= 0xFFFF:
+			merged[packKey{class: class, kh: kh}] = payload
+			fold = append(fold, name)
+			cs.LooseMerged++
+		case v.kind == 3:
+			if os.Remove(path) == nil {
+				cs.CorruptRemoved++
+			}
+		}
+		// Skew (another build's entry) and renamed/foreign files stay.
+	}
+	cs.Entries = len(merged)
+	if len(merged) == 0 {
+		return cs, nil
+	}
+
+	keys := make([]packKey, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].class != keys[j].class {
+			return keys[i].class < keys[j].class
+		}
+		return bytes.Compare(keys[i].kh[:], keys[j].kh[:]) < 0
+	})
+	views := make([]packEntryView, len(keys))
+	for i, k := range keys {
+		views[i] = packEntryView{class: k.class, kh: k.kh, payload: merged[k]}
+	}
+	buf := encodePack(s.buildFP, views)
+	sum := sha256.Sum256(buf)
+	segName := fmt.Sprintf("pack-%x.pack", sum[:8])
+	if werr := s.writeAtomic(filepath.Join(s.dir, segName), buf); werr != nil {
+		return cs, fmt.Errorf("memostore: compact: %v", werr)
+	}
+	cs.Segment = segName
+	cs.SegmentBytes = int64(len(buf))
+
+	// Re-decode the written bytes so the new index holds zero-copy views
+	// of the single fresh segment, and swap it in before unlinking.
+	nviews, v := decodePack(buf, s.buildFP)
+	if v.kind != 0 {
+		return cs, fmt.Errorf("memostore: compact: fresh segment failed verification: %s", v.reason)
+	}
+	nidx := &packIndex{
+		entries:  make(map[packKey][]byte, len(nviews)),
+		shadowed: make(map[string]bool, len(nviews)),
+		segments: []packSegment{{name: segName, size: int64(len(buf))}},
+		bytes:    int64(len(buf)),
+	}
+	for _, e := range nviews {
+		nidx.entries[packKey{class: e.class, kh: e.kh}] = e.payload
+		nidx.shadowed[looseName(e.class, e.kh)] = true
+	}
+	s.packs.Store(nidx)
+
+	for _, name := range fold {
+		if os.Remove(filepath.Join(s.dir, name)) == nil {
+			cs.LooseRemoved++
+		}
+	}
+	for _, seg := range idx.segments {
+		if seg.name == segName {
+			continue
+		}
+		if os.Remove(filepath.Join(s.dir, seg.name)) == nil {
+			cs.SegmentsRemoved++
+		}
+	}
+	return cs, nil
+}

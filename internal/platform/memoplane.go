@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -57,6 +58,14 @@ type MemoPlane struct {
 	classes *lru.Cache[string, *ffBundle]
 
 	adopted atomic.Uint64
+
+	// warm single-flights cold-class discovery across in-process callers
+	// (WarmClass); the counters record the election outcomes. All waits
+	// happen here and in the store's claim protocol — never under mu —
+	// so a parked warmer cannot block unrelated class acquisition.
+	warm       memostore.Flight[struct{}]
+	warmLeads  atomic.Uint64
+	warmShared atomic.Uint64
 }
 
 // NewMemoPlane creates a plane bounded to maxClasses configuration
@@ -153,6 +162,105 @@ func (pl *MemoPlane) Attach(p *Platform) {
 	pl.adopted.Add(uint64(len(b.records)))
 }
 
+// WarmClass runs compute — a full device simulation expected to
+// discover classKey's cycle records through an attached platform —
+// under the plane's cold-class coordination (DESIGN.md §17). A class
+// that already holds records needs none: compute replays cheaply. For a
+// cold class, concurrent in-process callers elect one leader
+// (single-flight), and when the plane has a writable store the leader
+// additionally coordinates across processes via the store's claim
+// protocol: it either wins the claim (computes, flushes the class
+// eagerly so sibling processes adopt as soon as possible, releases) or
+// adopts the winning process's flushed bundle before running. Every
+// caller still runs its own compute — outcomes are per-caller; what is
+// deduplicated is the discovery cost. Coordination only ever fails
+// toward uncoordinated computing (byte-identical results, duplicated
+// work): waits respect ctx and claim staleness, and no wait holds a
+// plane or bundle lock. A nil plane just computes.
+func (pl *MemoPlane) WarmClass(ctx context.Context, classKey string, compute func() error) error {
+	if pl == nil {
+		return compute()
+	}
+	b := pl.acquire(classKey)
+	b.mu.Lock()
+	cold := len(b.records) == 0
+	b.mu.Unlock()
+	if !cold {
+		return compute()
+	}
+	var err error
+	_, shared, _ := pl.warm.Do(classKey, func() (struct{}, error) {
+		claim := pl.claimClass(ctx, b)
+		err = compute()
+		if claim != nil {
+			pl.flushBundle(b)
+			claim.Release()
+		}
+		return struct{}{}, nil
+	})
+	if shared {
+		// Piggybacked on an in-process leader: the class is as warm as
+		// it is going to get; run our own simulation against it.
+		err = compute()
+		pl.warmShared.Add(1)
+	} else {
+		pl.warmLeads.Add(1)
+	}
+	return err
+}
+
+// claimClass coordinates one cold class across processes. It returns an
+// owned claim (the caller computes, flushes, releases) or nil after
+// either adopting another process's flushed bundle into b or deciding
+// to compute uncoordinated (no writable store, filesystem trouble, ctx
+// canceled, or persistent claim churn).
+func (pl *MemoPlane) claimClass(ctx context.Context, b *ffBundle) *memostore.Claim {
+	st := pl.store
+	if !st.Mode().Writable() {
+		return nil
+	}
+	key := []byte(b.key)
+	// Bounded rounds: each either wins the claim, adopts a landed
+	// bundle, or observes a vanished/stale claim and tries again.
+	for round := 0; round < 8; round++ {
+		c, err := st.Claim("cycles", key)
+		if err != nil {
+			return nil
+		}
+		if c != nil {
+			return c
+		}
+		payload, ok, werr := st.AwaitClaimed(ctx, "cycles", key)
+		if werr != nil {
+			return nil // ctx canceled; compute observes it too
+		}
+		if ok {
+			if recs, derr := ffDecodeBundle(payload); derr == nil {
+				b.adopt(recs)
+			}
+			// An undecodable payload degrades to a cold class, exactly
+			// like acquire's disk path.
+			return nil
+		}
+	}
+	return nil
+}
+
+// adopt merges disk-origin records into the bundle. First publisher of
+// a key wins, as everywhere in the memo plane — two holders of one key
+// carry byte-identical records by determinism. Adopted records are not
+// dirty: the flushing process already persisted them.
+func (b *ffBundle) adopt(recs map[ffKey]*cycleRecord) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for k, cr := range recs {
+		if _, ok := b.records[k]; !ok {
+			b.records[k] = cr
+			b.fromDisk[k] = true
+		}
+	}
+}
+
 // flushBundle persists one bundle's unsaved records (no-op without a
 // writable store). Callers must not hold the bundle's lock.
 func (pl *MemoPlane) flushBundle(b *ffBundle) {
@@ -188,6 +296,8 @@ type MemoPlaneStats struct {
 	Records    int       `json:"records"`     // cycle records across all live classes
 	MaxClasses int       `json:"max_classes"` // the class bound
 	Adopted    uint64    `json:"adopted"`     // records handed to attaching platforms so far
+	WarmLeads  uint64    `json:"warm_leads"`  // WarmClass cold-class elections led
+	WarmShared uint64    `json:"warm_shared"` // WarmClass calls that shared an in-process leader's discovery
 	Class      lru.Stats `json:"class_cache"` // class-cache counters (hits/misses/puts/evictions)
 }
 
@@ -201,6 +311,8 @@ func (pl *MemoPlane) Stats() MemoPlaneStats {
 		Classes:    pl.classes.Len(),
 		MaxClasses: pl.classes.Cap(),
 		Adopted:    pl.adopted.Load(),
+		WarmLeads:  pl.warmLeads.Load(),
+		WarmShared: pl.warmShared.Load(),
 		Class:      pl.classes.Stats(),
 	}
 	for _, key := range pl.classes.Keys() {

@@ -1,7 +1,9 @@
 package platform
 
 import (
+	"context"
 	"reflect"
+	"sync"
 	"testing"
 
 	"odrips/internal/memostore"
@@ -139,6 +141,124 @@ func TestMemoPlanePersistence(t *testing.T) {
 	}
 	if stats.CyclesReplayed == 0 || plane2.Stats().Adopted == 0 {
 		t.Errorf("fresh plane adopted nothing from disk: ff=%+v plane=%+v", stats, plane2.Stats())
+	}
+}
+
+// TestWarmClassCrossProcess is the claim protocol end to end: two
+// planes over two stores sharing one directory (two "processes"). The
+// first WarmClass wins the claim, computes, and eagerly flushes; the
+// second finds the class on disk and replays instead of rediscovering.
+func TestWarmClassCrossProcess(t *testing.T) {
+	dir := t.TempDir()
+	openStore := func() *memostore.Store {
+		s, err := memostore.Open(dir, memostore.RW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	storeA, storeB := openStore(), openStore()
+	planeA, planeB := NewMemoPlane(storeA, 0), NewMemoPlane(storeB, 0)
+	cfg := ODRIPSConfig()
+	key := MemoClassKey(cfg)
+	solo, _ := planeRun(t, cfg, nil)
+
+	var resA, resB Result
+	var ffA, ffB FFStats
+	if err := planeA.WarmClass(context.Background(), key, func() error {
+		resA, ffA = planeRun(t, cfg, planeA.Attach)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sa := storeA.Stats(); sa.ClaimsOwned != 1 || sa.Writes == 0 {
+		t.Fatalf("leader process stats %+v: want an owned claim and an eager flush", sa)
+	}
+	if ffA.CyclesRecorded == 0 {
+		t.Fatalf("leader discovered nothing: %+v", ffA)
+	}
+
+	if err := planeB.WarmClass(context.Background(), key, func() error {
+		resB, ffB = planeRun(t, cfg, planeB.Attach)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resA, solo) || !reflect.DeepEqual(resB, solo) {
+		t.Fatal("coordinated runs diverged from solo run")
+	}
+	if ffB.CyclesReplayed == 0 || ffB.CyclesRecorded != 0 {
+		t.Fatalf("second process re-discovered the class: %+v", ffB)
+	}
+	if sb := storeB.Stats(); sb.ClaimsOwned != 0 {
+		t.Fatalf("second process claimed a warm class: %+v", sb)
+	}
+	if st := planeA.Stats(); st.WarmLeads != 1 || st.WarmShared != 0 {
+		t.Fatalf("plane A warm stats %+v", st)
+	}
+}
+
+// TestWarmClassConcurrentProcesses races two planes' WarmClass over one
+// shared store directory under -race. Whoever loses the claim adopts the
+// winner's flushed bundle (or claims after the winner released); either
+// interleaving must yield identical results and exactly one discovery
+// per unique fingerprint fleet-wide is asserted by the claims/waits
+// accounting summing consistently.
+func TestWarmClassConcurrentProcesses(t *testing.T) {
+	dir := t.TempDir()
+	cfg := ODRIPSConfig()
+	key := MemoClassKey(cfg)
+	solo, _ := planeRun(t, cfg, nil)
+
+	stores := make([]*memostore.Store, 2)
+	planes := make([]*MemoPlane, 2)
+	for i := range stores {
+		s, err := memostore.Open(dir, memostore.RW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores[i] = s
+		planes[i] = NewMemoPlane(s, 0)
+	}
+
+	results := make([]Result, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := planes[i].WarmClass(context.Background(), key, func() error {
+				results[i], _ = planeRun(t, cfg, planes[i].Attach)
+				return nil
+			}); err != nil {
+				t.Errorf("plane %d: %v", i, err)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, r := range results {
+		if !reflect.DeepEqual(r, solo) {
+			t.Errorf("plane %d result diverged from solo run", i)
+		}
+	}
+	var owned, lost, waits, takeovers uint64
+	for _, s := range stores {
+		st := s.Stats()
+		owned += st.ClaimsOwned
+		lost += st.ClaimsLost
+		waits += st.ClaimWaitHits
+		takeovers += st.ClaimTakeovers
+	}
+	if owned < 1 || owned > 2 {
+		t.Errorf("claims owned fleet-wide = %d, want 1 or 2", owned)
+	}
+	if takeovers != 0 {
+		t.Errorf("%d takeovers during a live race (stale threshold is 30s)", takeovers)
+	}
+	// A process that lost the claim must have awaited rather than raced:
+	// every loss pairs with a wait outcome (hit, vanish, or retry claim).
+	if lost > 0 && waits == 0 && owned != 2 {
+		t.Errorf("claim lost without a wait resolution: owned=%d lost=%d waits=%d", owned, lost, waits)
 	}
 }
 
